@@ -1,0 +1,183 @@
+// Micro-benchmarks (google-benchmark) for the individual components:
+// codec encode/decode, proxy CNN inference, cell grouping, Hungarian
+// assignment, tracker steps, track clustering, and query post-processing.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cell_grouping.h"
+#include "models/proxy.h"
+#include "query/queries.h"
+#include "sim/raster.h"
+#include "track/hungarian.h"
+#include "track/refine.h"
+#include "track/sort_tracker.h"
+#include "util/rng.h"
+#include "video/codec.h"
+
+namespace otif {
+namespace {
+
+sim::Clip& BenchClip() {
+  static sim::Clip clip = sim::SimulateClip(
+      sim::MakeDataset(sim::DatasetId::kSynthetic), 77, 300);
+  return clip;
+}
+
+void BM_SimulateClip(benchmark::State& state) {
+  const sim::DatasetSpec spec = sim::MakeDataset(sim::DatasetId::kSynthetic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::SimulateClip(spec, 1, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SimulateClip)->Arg(100)->Arg(400);
+
+void BM_RasterizeFrame(benchmark::State& state) {
+  sim::Rasterizer raster(&BenchClip());
+  int frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        raster.Render(frame++ % 300, static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)) * 3 / 5));
+  }
+}
+BENCHMARK(BM_RasterizeFrame)->Arg(40)->Arg(104);
+
+void BM_CodecEncode(benchmark::State& state) {
+  sim::Rasterizer raster(&BenchClip());
+  std::vector<video::Image> frames;
+  for (int f = 0; f < 32; ++f) frames.push_back(raster.Render(f, 80, 48));
+  video::Encoder encoder(video::CodecConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(frames));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  sim::Rasterizer raster(&BenchClip());
+  std::vector<video::Image> frames;
+  for (int f = 0; f < 32; ++f) frames.push_back(raster.Render(f, 80, 48));
+  auto encoded = video::Encoder(video::CodecConfig{}).Encode(frames);
+  for (auto _ : state) {
+    video::Decoder decoder(&encoded.value());
+    benchmark::DoNotOptimize(decoder.DecodeAll(nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_ProxyInference(benchmark::State& state) {
+  models::ProxyModel proxy(models::StandardProxyResolutions()[4], 1);
+  sim::Rasterizer raster(&BenchClip());
+  const video::Image frame = raster.Render(
+      0, proxy.resolution().raster_w(), proxy.resolution().raster_h());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.Score(frame));
+  }
+}
+BENCHMARK(BM_ProxyInference);
+
+void BM_CellGrouping(benchmark::State& state) {
+  Rng rng(5);
+  core::CellGrid grid;
+  grid.grid_w = 13;
+  grid.grid_h = 8;
+  grid.positive.assign(13 * 8, 0);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    grid.positive[rng.UniformInt(uint64_t{13 * 8})] = 1;
+  }
+  const models::DetectorArch arch = models::StandardDetectorArchs()[0];
+  const std::vector<core::WindowSize> sizes = {
+      {160, 90}, {320, 180}, {1280, 720}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GroupCells(grid, sizes, arch, 1280, 720));
+  }
+}
+BENCHMARK(BM_CellGrouping)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(7);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(track::SolveAssignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_SortTrackerFrame(benchmark::State& state) {
+  Rng rng(9);
+  const int n = static_cast<int>(state.range(0));
+  track::SortTracker tracker;
+  int frame = 0;
+  for (auto _ : state) {
+    track::FrameDetections dets;
+    for (int i = 0; i < n; ++i) {
+      track::Detection d;
+      d.frame = frame;
+      d.box = geom::BBox(rng.Uniform(0, 1280), rng.Uniform(0, 720), 40, 28);
+      dets.push_back(d);
+    }
+    tracker.ProcessFrame(frame++, dets);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SortTrackerFrame)->Arg(5)->Arg(20);
+
+void BM_TrackClustering(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<track::Track> tracks;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    track::Track t;
+    t.id = i;
+    const double y = rng.Uniform(50, 700);
+    for (int k = 0; k < 20; ++k) {
+      track::Detection d;
+      d.frame = k;
+      d.box = geom::BBox(64.0 * k, y + rng.Gaussian(0, 4), 40, 28);
+      t.detections.push_back(d);
+    }
+    tracks.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        track::ClusterTracks(tracks, track::DbscanOptions{}));
+  }
+}
+BENCHMARK(BM_TrackClustering)->Arg(20)->Arg(100);
+
+void BM_LimitQueryPostProcess(benchmark::State& state) {
+  // Post-processing latency on extracted tracks: the "sub-second query"
+  // claim. 60 tracks over 600 frames.
+  Rng rng(13);
+  std::vector<track::Track> tracks;
+  for (int i = 0; i < 60; ++i) {
+    track::Track t;
+    t.id = i;
+    t.cls = track::ObjectClass::kCar;
+    const int start = static_cast<int>(rng.UniformInt(uint64_t{400}));
+    for (int k = 0; k < 20; ++k) {
+      track::Detection d;
+      d.frame = start + k * 8;
+      d.box = geom::BBox(rng.Uniform(0, 1280), rng.Uniform(0, 720), 40, 28);
+      t.detections.push_back(d);
+    }
+    tracks.push_back(std::move(t));
+  }
+  query::CountPredicate predicate(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::ExecuteLimitQuery(tracks, predicate, 600, 25, 50));
+  }
+}
+BENCHMARK(BM_LimitQueryPostProcess);
+
+}  // namespace
+}  // namespace otif
+
+BENCHMARK_MAIN();

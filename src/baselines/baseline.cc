@@ -1,0 +1,26 @@
+#include "baselines/baseline.h"
+
+namespace otif::baselines {
+
+const MethodPoint* FastestWithinTolerance(
+    const std::vector<MethodPoint>& points, double best_accuracy,
+    double tolerance) {
+  const MethodPoint* fastest = nullptr;
+  for (const MethodPoint& p : points) {
+    if (p.accuracy + tolerance < best_accuracy) continue;
+    if (fastest == nullptr || p.seconds < fastest->seconds) fastest = &p;
+  }
+  if (fastest == nullptr) {
+    // No point reaches the tolerance band: report the most accurate point
+    // (the method simply cannot match the best accuracy).
+    for (const MethodPoint& p : points) {
+      if (fastest == nullptr || p.accuracy > fastest->accuracy ||
+          (p.accuracy == fastest->accuracy && p.seconds < fastest->seconds)) {
+        fastest = &p;
+      }
+    }
+  }
+  return fastest;
+}
+
+}  // namespace otif::baselines

@@ -1,0 +1,50 @@
+#ifndef OTIF_BASELINES_BASELINE_H_
+#define OTIF_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/best_config.h"
+#include "sim/world.h"
+
+namespace otif::baselines {
+
+/// One operating point of a baseline on a clip set: simulated runtime,
+/// accuracy, and the per-clip tracks it produced.
+struct MethodPoint {
+  std::string label;
+  double seconds = 0.0;
+  double accuracy = 0.0;
+  /// Multiplier for the query-specific part of the method's runtime when
+  /// executing additional queries: seconds for Q queries =
+  /// reusable_seconds + query_seconds * Q. For track baselines whose whole
+  /// output is reusable, query_seconds = 0.
+  double reusable_seconds = 0.0;
+  double query_seconds = 0.0;
+};
+
+/// A track-extraction baseline: selects Pareto configurations on the
+/// validation set, then reports test-set points.
+class TrackBaseline {
+ public:
+  virtual ~TrackBaseline() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns the speed-accuracy points measured on `test`, using `valid`
+  /// for any parameter selection the method performs.
+  virtual std::vector<MethodPoint> Run(
+      const std::vector<sim::Clip>& valid, const std::vector<sim::Clip>& test,
+      const core::AccuracyFn& valid_accuracy,
+      const core::AccuracyFn& test_accuracy) = 0;
+};
+
+/// Picks the fastest point within `tolerance` of the best accuracy across
+/// `points` (the Table 2 selection rule). `best_accuracy` is the best
+/// accuracy achieved by ANY method on this workload.
+const MethodPoint* FastestWithinTolerance(
+    const std::vector<MethodPoint>& points, double best_accuracy,
+    double tolerance);
+
+}  // namespace otif::baselines
+
+#endif  // OTIF_BASELINES_BASELINE_H_

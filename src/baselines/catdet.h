@@ -1,0 +1,26 @@
+#ifndef OTIF_BASELINES_CATDET_H_
+#define OTIF_BASELINES_CATDET_H_
+
+#include "baselines/baseline.h"
+
+namespace otif::baselines {
+
+/// CaTDet (Mao et al., SysML 2019): a cascaded tracker-detector. The full
+/// detector runs on a refresh schedule (every K-th frame); between
+/// refreshes, the detector runs only inside windows proposed by the
+/// tracker's motion predictions (Kalman), so compute follows the tracked
+/// objects. No resolution or framerate tuning, matching the paper's
+/// observation that CaTDet "does not optimize framerate or resolution".
+class CaTDet : public TrackBaseline {
+ public:
+  std::string name() const override { return "catdet"; }
+
+  std::vector<MethodPoint> Run(
+      const std::vector<sim::Clip>& valid, const std::vector<sim::Clip>& test,
+      const core::AccuracyFn& valid_accuracy,
+      const core::AccuracyFn& test_accuracy) override;
+};
+
+}  // namespace otif::baselines
+
+#endif  // OTIF_BASELINES_CATDET_H_

@@ -1,0 +1,31 @@
+#ifndef OTIF_BASELINES_CENTERTRACK_H_
+#define OTIF_BASELINES_CENTERTRACK_H_
+
+#include "baselines/baseline.h"
+
+namespace otif::baselines {
+
+/// CenterTrack (Zhou et al., ECCV 2020): a high-accuracy multi-object
+/// tracker that runs a heavy joint detection+offset network on consecutive
+/// frame pairs. A speed-accuracy tradeoff is obtained only by naive
+/// resolution and framerate tuning (as the paper does in Sec 4). The
+/// integrated network pairs frames, so association quality collapses at
+/// large sampling gaps — modeled by the pairwise tracker with a tight
+/// displacement gate.
+class CenterTrack : public TrackBaseline {
+ public:
+  std::string name() const override { return "centertrack"; }
+
+  std::vector<MethodPoint> Run(
+      const std::vector<sim::Clip>& valid, const std::vector<sim::Clip>& test,
+      const core::AccuracyFn& valid_accuracy,
+      const core::AccuracyFn& test_accuracy) override;
+
+  /// The DLA-34 backbone cost profile (heavier than YOLOv3, close to Mask
+  /// R-CNN), exposed for tests.
+  static models::DetectorArch Backbone();
+};
+
+}  // namespace otif::baselines
+
+#endif  // OTIF_BASELINES_CENTERTRACK_H_

@@ -1,0 +1,38 @@
+#ifndef OTIF_BASELINES_MIRIS_H_
+#define OTIF_BASELINES_MIRIS_H_
+
+#include "baselines/baseline.h"
+#include "models/detector.h"
+
+namespace otif::baselines {
+
+/// Miris (Bastani et al., SIGMOD 2020): query-driven variable-rate
+/// tracking. Tracks at reduced sampling rates with a GNN matcher that only
+/// compares consecutive processed frames (modeled by the pairwise IoU +
+/// displacement tracker), then *refines* tracks by processing additional
+/// frames at finer rates around each track's endpoints to recover the true
+/// start/end (binary sub-division with windowed detector invocations).
+///
+/// The refinement and rate-planning phases are query-specific, so the
+/// whole execution repeats per query (query_seconds = full runtime); this
+/// is what makes Miris 5x more expensive for five queries (Table 2).
+class Miris : public TrackBaseline {
+ public:
+  std::string name() const override { return "miris"; }
+
+  std::vector<MethodPoint> Run(
+      const std::vector<sim::Clip>& valid, const std::vector<sim::Clip>& test,
+      const core::AccuracyFn& valid_accuracy,
+      const core::AccuracyFn& test_accuracy) override;
+
+  /// Runs Miris at one sampling gap over a clip set. Exposed for tests.
+  /// Returns the per-clip tracks; charges detection/track/refinement costs
+  /// to `clock`.
+  static std::vector<std::vector<track::Track>> RunAtGap(
+      const std::vector<sim::Clip>& clips, int gap, double detector_scale,
+      models::SimClock* clock);
+};
+
+}  // namespace otif::baselines
+
+#endif  // OTIF_BASELINES_MIRIS_H_

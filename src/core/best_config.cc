@@ -1,0 +1,81 @@
+#include "core/best_config.h"
+
+#include "util/logging.h"
+
+namespace otif::core {
+
+EvalResult EvaluateConfig(const PipelineConfig& config,
+                          const TrainedModels* trained,
+                          const std::vector<sim::Clip>& clips,
+                          const AccuracyFn& accuracy_fn) {
+  Pipeline pipeline(config, trained);
+  EvalResult result;
+  for (const sim::Clip& clip : clips) {
+    PipelineResult r = pipeline.Run(clip);
+    result.clock.Merge(r.clock);
+    result.tracks_per_clip.push_back(std::move(r.tracks));
+  }
+  result.seconds = result.clock.TotalSeconds();
+  result.accuracy = accuracy_fn(result.tracks_per_clip);
+  return result;
+}
+
+PipelineConfig SelectBestConfig(const std::vector<sim::Clip>& validation,
+                                const AccuracyFn& accuracy_fn,
+                                double* best_accuracy_out) {
+  OTIF_CHECK(!validation.empty());
+  // Slowest configuration: strongest architecture at full resolution,
+  // gap 1, SORT tracker, no proxy.
+  PipelineConfig config;
+  config.detector_arch = "mask_rcnn";
+  config.detector_scale = 1.0;
+  config.sampling_gap = 1;
+  config.tracker = TrackerKind::kSort;
+  config.use_proxy = false;
+
+  double best_acc =
+      EvaluateConfig(config, nullptr, validation, accuracy_fn).accuracy;
+
+  // Architectures are entangled with resolution in the detection module; at
+  // this stage pick the better architecture at full resolution.
+  {
+    PipelineConfig alt = config;
+    alt.detector_arch = "yolov3";
+    const double acc =
+        EvaluateConfig(alt, nullptr, validation, accuracy_fn).accuracy;
+    if (acc >= best_acc) {
+      config = alt;
+      best_acc = acc;
+    }
+  }
+
+  // Walk down the resolution ladder while accuracy does not decrease.
+  const std::vector<double> scales = StandardDetectorScales();
+  size_t scale_idx = 0;
+  while (scale_idx + 1 < scales.size()) {
+    PipelineConfig next = config;
+    next.detector_scale = scales[scale_idx + 1];
+    const double acc =
+        EvaluateConfig(next, nullptr, validation, accuracy_fn).accuracy;
+    if (acc < best_acc) break;
+    config = next;
+    best_acc = acc;
+    ++scale_idx;
+  }
+
+  // Then walk up the sampling gap while accuracy does not decrease.
+  while (config.sampling_gap < 64) {
+    PipelineConfig next = config;
+    next.sampling_gap *= 2;
+    const double acc =
+        EvaluateConfig(next, nullptr, validation, accuracy_fn).accuracy;
+    if (acc < best_acc) break;
+    config = next;
+    best_acc = acc;
+  }
+
+  if (best_accuracy_out != nullptr) *best_accuracy_out = best_acc;
+  return config;
+}
+
+}  // namespace otif::core

@@ -1,0 +1,46 @@
+#ifndef OTIF_CORE_BEST_CONFIG_H_
+#define OTIF_CORE_BEST_CONFIG_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/world.h"
+#include "track/types.h"
+
+namespace otif::core {
+
+/// Accuracy metric over per-clip track outputs; returned values in [0, 1].
+/// The evaluation harness builds these from the user's query + ground truth
+/// (paper workflow, Fig 1).
+using AccuracyFn =
+    std::function<double(const std::vector<std::vector<track::Track>>&)>;
+
+/// Result of evaluating one configuration over a clip set.
+struct EvalResult {
+  double accuracy = 0.0;
+  double seconds = 0.0;
+  models::SimClock clock;
+  std::vector<std::vector<track::Track>> tracks_per_clip;
+};
+
+/// Runs the pipeline under `config` over every clip and scores the outputs.
+EvalResult EvaluateConfig(const PipelineConfig& config,
+                          const TrainedModels* trained,
+                          const std::vector<sim::Clip>& clips,
+                          const AccuracyFn& accuracy_fn);
+
+/// Selects the best-accuracy configuration theta_best (paper Sec 3.3):
+/// starting from the slowest configuration (no proxy, full resolution,
+/// gap 1, SORT tracker — proxy and recurrent models are not yet trained at
+/// this stage), repeatedly reduce the detector resolution in C~30% pixel
+/// steps while accuracy does not decrease, then reduce the sampling rate
+/// the same way. Accuracy is often *higher* below full resolution, which is
+/// why the walk continues through accuracy-improving steps.
+PipelineConfig SelectBestConfig(const std::vector<sim::Clip>& validation,
+                                const AccuracyFn& accuracy_fn,
+                                double* best_accuracy_out);
+
+}  // namespace otif::core
+
+#endif  // OTIF_CORE_BEST_CONFIG_H_

@@ -1,0 +1,77 @@
+#ifndef OTIF_CORE_CELL_GROUPING_H_
+#define OTIF_CORE_CELL_GROUPING_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "models/detector.h"
+#include "nn/tensor.h"
+
+namespace otif::core {
+
+/// A candidate detector window size (in detector-input pixels).
+struct WindowSize {
+  int w = 0;
+  int h = 0;
+  bool operator==(const WindowSize& o) const { return w == o.w && h == o.h; }
+};
+
+/// Binary grid of positive proxy cells (row-major, grid_h x grid_w).
+struct CellGrid {
+  int grid_w = 0;
+  int grid_h = 0;
+  std::vector<uint8_t> positive;
+
+  static CellGrid FromScores(const nn::Tensor& scores, double threshold);
+
+  bool at(int gx, int gy) const {
+    return positive[static_cast<size_t>(gy) * grid_w + gx] != 0;
+  }
+  void set(int gx, int gy, bool v) {
+    positive[static_cast<size_t>(gy) * grid_w + gx] = v ? 1 : 0;
+  }
+  int CountPositive() const;
+};
+
+/// A chosen rectangle: placement in cell coordinates plus the window size
+/// (in scaled-frame pixels) that the detector will execute.
+struct PlacedWindow {
+  /// Covered cell range [cell_x0, cell_x1) x [cell_y0, cell_y1).
+  int cell_x0 = 0, cell_y0 = 0, cell_x1 = 0, cell_y1 = 0;
+  WindowSize size;
+};
+
+/// Result of grouping cells into windows for one frame.
+struct GroupingResult {
+  std::vector<PlacedWindow> windows;
+  /// Estimated detector execution time est(R) over the windows, seconds.
+  double est_seconds = 0.0;
+  /// True when the grouper fell back to a single full-frame window.
+  bool full_frame = false;
+};
+
+/// Groups positive cells into rectangular windows drawn from the fixed size
+/// set W (paper Sec 3.3 "Grouping Cells during Execution"): connected
+/// components are clusters; clusters merge greedily while the merge lowers
+/// est(R) = sum of window execution times; the result falls back to the
+/// full frame when that is cheaper. `frame_w`/`frame_h` are the scaled
+/// detector-input dimensions of the whole frame; each cell covers
+/// (frame_w / grid_w) x (frame_h / grid_h) pixels.
+///
+/// `sizes` must contain the full-frame size (w >= frame_w, h >= frame_h) so
+/// the full-frame fallback is always available.
+GroupingResult GroupCells(const CellGrid& grid,
+                          const std::vector<WindowSize>& sizes,
+                          const models::DetectorArch& arch, double frame_w,
+                          double frame_h);
+
+/// Converts placed windows into native-coordinate rectangles for detection
+/// filtering. `scale` maps scaled-frame coordinates back to native
+/// (native = scaled / scale).
+std::vector<geom::BBox> WindowsToNativeRects(
+    const GroupingResult& grouping, double frame_w, double frame_h,
+    int grid_w, int grid_h, double scale);
+
+}  // namespace otif::core
+
+#endif  // OTIF_CORE_CELL_GROUPING_H_

@@ -1,0 +1,114 @@
+#ifndef OTIF_CORE_PIPELINE_H_
+#define OTIF_CORE_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cell_grouping.h"
+#include "models/cost_model.h"
+#include "models/detector.h"
+#include "models/proxy.h"
+#include "models/tracker_net.h"
+#include "sim/raster.h"
+#include "sim/world.h"
+#include "track/refine.h"
+#include "track/types.h"
+
+namespace otif::core {
+
+/// Which tracker the pipeline runs on top of the detector.
+enum class TrackerKind {
+  /// Heuristic SORT tracker (used inside theta_best and ablations).
+  kSort,
+  /// The recurrent reduced-rate tracking model (full OTIF).
+  kRecurrent,
+};
+
+/// One parameter configuration theta (paper Sec 3.5). The tuner walks a
+/// sequence of these; theta_best is the accuracy-maximizing instance.
+struct PipelineConfig {
+  // --- Detection module ---
+  std::string detector_arch = "yolov3";
+  /// Detector input resolution as a fraction of native resolution.
+  double detector_scale = 1.0;
+  double detector_confidence = 0.4;
+  // --- Proxy model module ---
+  bool use_proxy = false;
+  /// Index into the trained proxy models (resolution choice).
+  int proxy_resolution_index = 0;
+  /// Threshold B_proxy on per-cell scores.
+  double proxy_threshold = 0.5;
+  // --- Tracking module ---
+  /// Sampling gap g: process 1 in every g frames (power of two).
+  int sampling_gap = 1;
+  TrackerKind tracker = TrackerKind::kSort;
+  /// Apply cluster-based start/end refinement (fixed cameras only).
+  bool refine = false;
+
+  /// Compact human-readable description, e.g. for tuner logs.
+  std::string ToString() const;
+};
+
+/// Per-dataset trained artifacts shared by all pipeline runs: proxy models
+/// (one per resolution), the recurrent tracker network, the fixed window
+/// size set W (native coordinates), and the track refiner built from S*.
+struct TrainedModels {
+  std::vector<std::unique_ptr<models::ProxyModel>> proxies;
+  std::unique_ptr<models::TrackerNet> tracker_net;
+  std::vector<WindowSize> window_sizes;
+  std::unique_ptr<track::TrackRefiner> refiner;
+
+  /// Cache of proxy scores keyed by (clip seed, frame, resolution index);
+  /// tuner evaluations re-score the same frames under many thresholds.
+  mutable std::map<std::tuple<uint64_t, int, int>, nn::Tensor> proxy_cache;
+};
+
+/// Outcome of running the pipeline over one clip.
+struct PipelineResult {
+  std::vector<track::Track> tracks;
+  models::SimClock clock;
+  int frames_processed = 0;
+  int64_t detections_kept = 0;
+  /// Mean fraction of ground-truth detections covered by proxy windows
+  /// (1.0 when the proxy is disabled); diagnostic for the tuner.
+  double mean_window_coverage = 1.0;
+};
+
+/// The OTIF execution pipeline (paper Fig 2): the tracker selects frames by
+/// the sampling gap; the segmentation proxy model selects windows; the
+/// detector runs inside the windows; detections stream into the tracker.
+/// All stage costs are charged to the simulated clock.
+class Pipeline {
+ public:
+  /// `trained` may be null only for configurations with use_proxy = false
+  /// and tracker = kSort and refine = false.
+  Pipeline(PipelineConfig config, const TrainedModels* trained);
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Runs the pipeline over a clip, returning tracks and simulated costs.
+  PipelineResult Run(const sim::Clip& clip) const;
+
+  /// Simulated decode seconds for processing a clip at the configured gap
+  /// and resolution (frames must be decoded along codec reference chains;
+  /// decoding happens at the detector resolution, per paper Sec 4
+  /// "Implementation").
+  double DecodeSecondsForClip(const sim::Clip& clip) const;
+
+ private:
+  PipelineConfig config_;
+  const TrainedModels* trained_;  // Not owned; may be null (see ctor).
+};
+
+/// The standard detector-scale ladder used by the tuner: each step reduces
+/// pixel count by the tuning coarseness C = 30%.
+std::vector<double> StandardDetectorScales();
+
+/// The standard proxy threshold grid used by the tuner's caching phase.
+std::vector<double> StandardProxyThresholds();
+
+}  // namespace otif::core
+
+#endif  // OTIF_CORE_PIPELINE_H_

@@ -1,0 +1,285 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "track/metrics.h"
+#include "util/logging.h"
+
+namespace otif::core {
+
+Tuner::Tuner(const std::vector<sim::Clip>* validation,
+             const TrainedModels* trained, AccuracyFn accuracy_fn,
+             Options options)
+    : validation_(validation),
+      trained_(trained),
+      accuracy_fn_(std::move(accuracy_fn)),
+      options_(options) {
+  OTIF_CHECK(validation != nullptr);
+  OTIF_CHECK(!validation->empty());
+  OTIF_CHECK(trained != nullptr);
+  OTIF_CHECK_GT(options_.coarseness, 0.0);
+  OTIF_CHECK_LT(options_.coarseness, 1.0);
+  if (options_.enable_proxy) {
+    OTIF_CHECK(!trained_->proxies.empty());
+    OTIF_CHECK(!trained_->window_sizes.empty());
+  }
+}
+
+void Tuner::CacheDetectionModule(const PipelineConfig& theta_best) {
+  // For every (architecture, resolution): runtime is analytic; accuracy is
+  // measured on the validation set with other parameters from theta_best
+  // (Sec 3.5.1).
+  const sim::DatasetSpec& spec = (*validation_)[0].spec();
+  for (const models::DetectorArch& arch : models::StandardDetectorArchs()) {
+    for (double scale : StandardDetectorScales()) {
+      DetectionProfile profile;
+      profile.arch = arch.name;
+      profile.scale = scale;
+      profile.per_frame_sec = models::DetectorWindowSeconds(
+          arch, spec.width * scale, spec.height * scale);
+      PipelineConfig config = theta_best;
+      config.detector_arch = arch.name;
+      config.detector_scale = scale;
+      config.use_proxy = false;
+      config.tracker = TrackerKind::kSort;
+      config.refine = false;
+      profile.accuracy =
+          EvaluateConfig(config, trained_, *validation_, accuracy_fn_)
+              .accuracy;
+      ++evaluations_;
+      detection_profiles_.push_back(profile);
+    }
+  }
+}
+
+void Tuner::CacheProxyModule(const PipelineConfig& theta_best) {
+  // For every (resolution, threshold): score validation frames (cached in
+  // TrainedModels), group cells into windows, and record the windowed
+  // detector cost relative to a full-frame pass plus the recall against
+  // theta_best detections (Sec 3.5.2).
+  const sim::DatasetSpec& spec = (*validation_)[0].spec();
+  const models::DetectorArch arch = models::ArchByName(
+      models::StandardDetectorArchs(), theta_best.detector_arch);
+  const double full_cost = models::DetectorWindowSeconds(
+      arch, spec.width, spec.height);
+  const models::CostConstants& costs = models::DefaultCostConstants();
+  models::SimulatedDetector detector(arch);
+
+  // Sample frames across the validation clips (bounded for cache cost).
+  const int stride = std::max(theta_best.sampling_gap, 8);
+  for (size_t res = 0; res < trained_->proxies.size(); ++res) {
+    models::ProxyModel* proxy = trained_->proxies[res].get();
+    // Pre-score sampled frames once per resolution.
+    struct FrameScore {
+      const sim::Clip* clip;
+      int frame;
+      nn::Tensor scores;
+    };
+    std::vector<FrameScore> scored;
+    for (const sim::Clip& clip : *validation_) {
+      sim::Rasterizer raster(&clip);
+      for (int f = 0; f < clip.num_frames(); f += stride) {
+        const auto key =
+            std::make_tuple(clip.clip_seed(), f, static_cast<int>(res));
+        auto it = trained_->proxy_cache.find(key);
+        nn::Tensor scores;
+        if (it != trained_->proxy_cache.end()) {
+          scores = it->second;
+        } else {
+          scores = proxy->Score(raster.Render(f, proxy->resolution().raster_w(),
+                                              proxy->resolution().raster_h()));
+          trained_->proxy_cache.emplace(key, scores);
+        }
+        scored.push_back({&clip, f, std::move(scores)});
+      }
+    }
+    for (double threshold : StandardProxyThresholds()) {
+      ProxyProfile profile;
+      profile.resolution_index = static_cast<int>(res);
+      profile.threshold = threshold;
+      profile.proxy_sec_per_frame =
+          costs.proxy_sec_per_frame +
+          costs.proxy_sec_per_pixel * proxy->resolution().world_pixels();
+      double cost_sum = 0.0;
+      double recall_sum = 0.0;
+      int frames = 0;
+      for (const FrameScore& fs : scored) {
+        const CellGrid grid = CellGrid::FromScores(fs.scores, threshold);
+        GroupingResult grouping;
+        std::vector<geom::BBox> rects;
+        if (grid.CountPositive() > 0) {
+          grouping = GroupCells(grid, trained_->window_sizes, arch,
+                                spec.width, spec.height);
+          rects = WindowsToNativeRects(grouping, spec.width, spec.height,
+                                       grid.grid_w, grid.grid_h, 1.0);
+        }
+        cost_sum += grouping.est_seconds / full_cost;
+        // Recall against theta_best detections (the best automatic labels).
+        const track::FrameDetections dets = models::FilterByConfidence(
+            detector.Detect(*fs.clip, fs.frame, theta_best.detector_scale),
+            theta_best.detector_confidence);
+        recall_sum += track::DetectionCoverage(dets, rects);
+        ++frames;
+      }
+      profile.relative_detector_cost = frames > 0 ? cost_sum / frames : 1.0;
+      profile.recall = frames > 0 ? recall_sum / frames : 1.0;
+      proxy_profiles_.push_back(profile);
+    }
+  }
+}
+
+double Tuner::EstimatedPerFrameCost(const PipelineConfig& config) const {
+  double det_cost = 0.0;
+  for (const DetectionProfile& p : detection_profiles_) {
+    if (p.arch == config.detector_arch &&
+        std::abs(p.scale - config.detector_scale) < 1e-9) {
+      det_cost = p.per_frame_sec;
+      break;
+    }
+  }
+  if (det_cost == 0.0) {
+    const models::DetectorArch arch = models::ArchByName(
+        models::StandardDetectorArchs(), config.detector_arch);
+    const sim::DatasetSpec& spec = (*validation_)[0].spec();
+    det_cost = models::DetectorWindowSeconds(
+        arch, spec.width * config.detector_scale,
+        spec.height * config.detector_scale);
+  }
+  if (!config.use_proxy) return det_cost;
+  for (const ProxyProfile& p : proxy_profiles_) {
+    if (p.resolution_index == config.proxy_resolution_index &&
+        std::abs(p.threshold - config.proxy_threshold) < 1e-9) {
+      return p.proxy_sec_per_frame + p.relative_detector_cost * det_cost;
+    }
+  }
+  return det_cost;
+}
+
+bool Tuner::ProposeDetectionUpdate(const PipelineConfig& current,
+                                   PipelineConfig* out) const {
+  // Highest cached accuracy among (arch, scale) at least C faster than the
+  // current detection choice.
+  double current_det = 0.0;
+  for (const DetectionProfile& p : detection_profiles_) {
+    if (p.arch == current.detector_arch &&
+        std::abs(p.scale - current.detector_scale) < 1e-9) {
+      current_det = p.per_frame_sec;
+    }
+  }
+  if (current_det == 0.0) return false;
+  const double budget = (1.0 - options_.coarseness) * current_det;
+  const DetectionProfile* best = nullptr;
+  for (const DetectionProfile& p : detection_profiles_) {
+    if (p.per_frame_sec > budget) continue;
+    if (best == nullptr || p.accuracy > best->accuracy) best = &p;
+  }
+  if (best == nullptr) return false;
+  *out = current;
+  out->detector_arch = best->arch;
+  out->detector_scale = best->scale;
+  return true;
+}
+
+bool Tuner::ProposeProxyUpdate(const PipelineConfig& current,
+                               PipelineConfig* out) const {
+  if (!options_.enable_proxy || proxy_profiles_.empty()) return false;
+  // Current per-frame (proxy + detector) cost; pick the (resolution,
+  // threshold) with highest recall whose estimated cost is at least C
+  // lower (Sec 3.5.2).
+  const double current_cost = EstimatedPerFrameCost(current);
+  const double budget = (1.0 - options_.coarseness) * current_cost;
+  double det_cost = 0.0;
+  {
+    PipelineConfig plain = current;
+    plain.use_proxy = false;
+    det_cost = EstimatedPerFrameCost(plain);
+  }
+  const ProxyProfile* best = nullptr;
+  for (const ProxyProfile& p : proxy_profiles_) {
+    const double cost =
+        p.proxy_sec_per_frame + p.relative_detector_cost * det_cost;
+    if (cost > budget) continue;
+    if (best == nullptr || p.recall > best->recall) best = &p;
+  }
+  if (best == nullptr) return false;
+  *out = current;
+  out->use_proxy = true;
+  out->proxy_resolution_index = best->resolution_index;
+  out->proxy_threshold = best->threshold;
+  return true;
+}
+
+bool Tuner::ProposeGapUpdate(const PipelineConfig& current,
+                             PipelineConfig* out) const {
+  if (!options_.enable_gap_tuning) return false;
+  // g / (1 - C) rounded up to the next power of two doubles the gap at
+  // C = 30% (Sec 3.5.3).
+  int next = current.sampling_gap;
+  const double target = current.sampling_gap / (1.0 - options_.coarseness);
+  while (next < target) next *= 2;
+  if (next == current.sampling_gap) next *= 2;
+  if (next > options_.max_gap) return false;
+  *out = current;
+  out->sampling_gap = next;
+  return true;
+}
+
+std::vector<TunerPoint> Tuner::Run(const PipelineConfig& theta_best) {
+  detection_profiles_.clear();
+  proxy_profiles_.clear();
+  evaluations_ = 0;
+
+  // Caching phase.
+  CacheDetectionModule(theta_best);
+  if (options_.enable_proxy) CacheProxyModule(theta_best);
+
+  // theta_1: theta_best's detection parameters with the configured tracker
+  // (the recurrent model and refiner are trained by now).
+  PipelineConfig current = theta_best;
+  current.tracker = options_.tracker;
+  current.use_proxy = false;
+  current.refine = options_.enable_refine &&
+                   trained_->refiner != nullptr &&
+                   !(*validation_)[0].spec().moving_camera;
+  if (!options_.enable_gap_tuning) current.sampling_gap = theta_best.sampling_gap;
+
+  std::vector<TunerPoint> curve;
+  {
+    EvalResult r = EvaluateConfig(current, trained_, *validation_,
+                                  accuracy_fn_);
+    ++evaluations_;
+    curve.push_back({current, r.seconds, r.accuracy});
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<PipelineConfig> candidates;
+    PipelineConfig candidate;
+    if (ProposeDetectionUpdate(current, &candidate)) {
+      candidates.push_back(candidate);
+    }
+    if (ProposeProxyUpdate(current, &candidate)) {
+      candidates.push_back(candidate);
+    }
+    if (ProposeGapUpdate(current, &candidate)) {
+      candidates.push_back(candidate);
+    }
+    if (candidates.empty()) break;
+
+    double best_accuracy = -1.0;
+    TunerPoint best_point;
+    for (const PipelineConfig& c : candidates) {
+      EvalResult r = EvaluateConfig(c, trained_, *validation_, accuracy_fn_);
+      ++evaluations_;
+      if (r.accuracy > best_accuracy) {
+        best_accuracy = r.accuracy;
+        best_point = {c, r.seconds, r.accuracy};
+      }
+    }
+    curve.push_back(best_point);
+    current = best_point.config;
+  }
+  return curve;
+}
+
+}  // namespace otif::core

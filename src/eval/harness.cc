@@ -1,0 +1,90 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "baselines/catdet.h"
+#include "baselines/centertrack.h"
+#include "baselines/chameleon.h"
+#include "baselines/miris.h"
+#include "baselines/noscope.h"
+#include "util/logging.h"
+
+namespace otif::eval {
+
+double SecondsForQueries(const baselines::MethodPoint& point, int queries) {
+  return point.reusable_seconds + point.query_seconds * queries;
+}
+
+TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
+                                         const ExperimentOptions& options) {
+  TrackExperimentResult result;
+  const TrackWorkload workload = MakeTrackWorkload(id);
+  result.dataset = workload.spec.name;
+
+  result.otif = std::make_shared<core::Otif>(workload.spec, options.scale);
+  // Clip sets are deterministic; keep stable copies for the closures.
+  auto valid = std::make_shared<std::vector<sim::Clip>>(
+      result.otif->ValidClips());
+  auto test = std::make_shared<std::vector<sim::Clip>>(
+      result.otif->TestClips());
+  const core::AccuracyFn valid_accuracy =
+      workload.MakeAccuracyFn(valid.get());
+  const core::AccuracyFn test_accuracy = workload.MakeAccuracyFn(test.get());
+
+  // --- OTIF ---
+  core::Tuner::Options tuner_options;
+  OTIF_LOG(kInfo) << "[" << result.dataset << "] preparing OTIF";
+  result.otif->Prepare(valid_accuracy, tuner_options);
+  {
+    std::vector<baselines::MethodPoint> points;
+    for (const core::TunerPoint& tp : result.otif->curve()) {
+      core::EvalResult r =
+          result.otif->Execute(tp.config, *test, test_accuracy);
+      baselines::MethodPoint p;
+      p.label = tp.config.ToString();
+      p.seconds = r.seconds;
+      p.reusable_seconds = r.seconds;  // Tracks are reusable: no per-query
+                                       // video or model cost.
+      p.accuracy = r.accuracy;
+      points.push_back(p);
+    }
+    result.curves["otif"] = std::move(points);
+  }
+
+  // --- Baselines ---
+  for (const std::string& method : options.methods) {
+    if (method == "centertrack" && options.centertrack_skips_moving_camera &&
+        workload.spec.moving_camera) {
+      continue;  // Paper Table 2 reports "-" for CenterTrack on UAV.
+    }
+    std::unique_ptr<baselines::TrackBaseline> baseline;
+    if (method == "miris") {
+      baseline = std::make_unique<baselines::Miris>();
+    } else if (method == "chameleon") {
+      baseline = std::make_unique<baselines::Chameleon>();
+    } else if (method == "noscope") {
+      OTIF_CHECK(!result.otif->trained().proxies.empty());
+      baseline = std::make_unique<baselines::NoScope>(
+          result.otif->trained().proxies.back().get());
+    } else if (method == "catdet") {
+      baseline = std::make_unique<baselines::CaTDet>();
+    } else if (method == "centertrack") {
+      baseline = std::make_unique<baselines::CenterTrack>();
+    } else {
+      OTIF_CHECK(false) << "unknown method " << method;
+    }
+    OTIF_LOG(kInfo) << "[" << result.dataset << "] running "
+                    << baseline->name();
+    result.curves[baseline->name()] =
+        baseline->Run(*valid, *test, valid_accuracy, test_accuracy);
+  }
+
+  for (const auto& [name, points] : result.curves) {
+    for (const baselines::MethodPoint& p : points) {
+      result.best_accuracy = std::max(result.best_accuracy, p.accuracy);
+    }
+  }
+  return result;
+}
+
+}  // namespace otif::eval

@@ -1,0 +1,144 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "track/metrics.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace otif::eval {
+
+core::AccuracyFn TrackWorkload::MakeAccuracyFn(
+    const std::vector<sim::Clip>* clips) const {
+  OTIF_CHECK(clips != nullptr);
+  const TrackWorkload workload = *this;
+  return [clips, workload](
+             const std::vector<std::vector<track::Track>>& per_clip) {
+    OTIF_CHECK_EQ(per_clip.size(), clips->size());
+    const int min_frames = static_cast<int>(
+        workload.min_track_sec * workload.spec.fps + 0.5);
+    std::vector<double> accuracies;
+    for (size_t c = 0; c < clips->size(); ++c) {
+      const sim::Clip& clip = (*clips)[c];
+      if (workload.count_query) {
+        const int gt = query::GroundTruthVehicleCount(clip, min_frames);
+        const int est =
+            query::CountVehicleTracks(per_clip[c], min_frames);
+        accuracies.push_back(track::CountAccuracy(est, gt));
+      } else {
+        const auto gt =
+            query::GroundTruthPathCounts(clip, workload.min_path_coverage);
+        const double max_dist =
+            workload.path_distance_frac *
+            std::max(workload.spec.width, workload.spec.height);
+        const auto est = query::ClassifyTracksByPath(
+            per_clip[c], workload.spec, max_dist);
+        accuracies.push_back(query::PathBreakdownAccuracy(est, gt));
+      }
+    }
+    return Mean(accuracies);
+  };
+}
+
+TrackWorkload MakeTrackWorkload(sim::DatasetId id) {
+  TrackWorkload w;
+  w.spec = sim::MakeDataset(id);
+  w.count_query =
+      id == sim::DatasetId::kAmsterdam || id == sim::DatasetId::kJackson;
+  return w;
+}
+
+std::unique_ptr<query::FramePredicate> FrameQuerySpec::MakePredicate() const {
+  OTIF_CHECK_GT(n, 0) << "calibrate the query first";
+  if (kind == "count") {
+    return std::make_unique<query::CountPredicate>(n);
+  }
+  if (kind == "region") {
+    return std::make_unique<query::RegionPredicate>(region, n);
+  }
+  OTIF_CHECK(kind == "hotspot") << kind;
+  return std::make_unique<query::HotSpotPredicate>(hotspot_radius, n);
+}
+
+baselines::FrameTarget FrameQuerySpec::MakeTarget() const {
+  if (kind == "count") return baselines::CountTarget();
+  if (kind == "region") return baselines::RegionTarget(region);
+  OTIF_CHECK(kind == "hotspot") << kind;
+  return baselines::HotSpotTarget(hotspot_radius);
+}
+
+std::vector<FrameQuerySpec> StandardFrameQueries() {
+  std::vector<FrameQuerySpec> queries;
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kUav;
+    q.kind = "count";
+    queries.push_back(std::move(q));
+  }
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kTokyo;
+    q.kind = "count";
+    queries.push_back(std::move(q));
+  }
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kJackson;
+    q.kind = "region";
+    // Junction core region.
+    q.region = geom::Polygon(
+        {{440, 240}, {840, 240}, {840, 560}, {440, 560}});
+    queries.push_back(std::move(q));
+  }
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kCaldot1;
+    q.kind = "region";
+    // Near half of the highway.
+    q.region = geom::Polygon({{200, 200}, {720, 200}, {720, 480}, {200, 480}});
+    queries.push_back(std::move(q));
+  }
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kWarsaw;
+    q.kind = "hotspot";
+    q.hotspot_radius = 140.0;
+    queries.push_back(std::move(q));
+  }
+  {
+    FrameQuerySpec q;
+    q.dataset = sim::DatasetId::kAmsterdam;
+    q.kind = "hotspot";
+    q.hotspot_radius = 160.0;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void CalibrateFrameQuery(const std::vector<sim::Clip>& clips,
+                         double max_match_fraction, FrameQuerySpec* spec) {
+  OTIF_CHECK(spec != nullptr);
+  OTIF_CHECK(!clips.empty());
+  for (int n = std::max(2, spec->n); n <= 64; ++n) {
+    spec->n = n;
+    const auto predicate = spec->MakePredicate();
+    int64_t matches = 0, frames = 0;
+    for (const sim::Clip& clip : clips) {
+      for (int f = 0; f < clip.num_frames(); ++f) {
+        if (query::GroundTruthMatches(clip, f, *predicate)) ++matches;
+        ++frames;
+      }
+    }
+    const double fraction =
+        frames > 0 ? static_cast<double>(matches) / frames : 0.0;
+    if (fraction <= max_match_fraction && matches > 0) return;
+    if (matches == 0) {
+      // Overshot: step back to the previous value and stop.
+      spec->n = std::max(2, n - 1);
+      return;
+    }
+  }
+}
+
+}  // namespace otif::eval

@@ -1,0 +1,68 @@
+#ifndef OTIF_EVAL_WORKLOAD_H_
+#define OTIF_EVAL_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/frame_query.h"
+#include "core/best_config.h"
+#include "query/queries.h"
+#include "sim/dataset.h"
+
+namespace otif::eval {
+
+/// Object-track query workload for one dataset (paper Sec 4.1): Amsterdam
+/// and Jackson use track count queries; the rest use path breakdown
+/// queries.
+struct TrackWorkload {
+  sim::DatasetSpec spec;
+  bool count_query = false;
+  /// Vehicles must be visible at least this long to count.
+  double min_track_sec = 1.0;
+  /// Path classification tolerance as a fraction of the frame's larger
+  /// dimension.
+  double path_distance_frac = 0.15;
+  /// Ground-truth path coverage needed for an object to count toward a
+  /// path label.
+  double min_path_coverage = 0.35;
+
+  /// Builds the accuracy function over a fixed clip set (clips must
+  /// outlive the returned function). The metric is the paper's count
+  /// accuracy 1 - |x - x*| / x*, averaged over clips (and path labels for
+  /// breakdown queries).
+  core::AccuracyFn MakeAccuracyFn(const std::vector<sim::Clip>* clips) const;
+};
+
+/// Standard workload for a dataset.
+TrackWorkload MakeTrackWorkload(sim::DatasetId id);
+
+/// Frame-level limit query definition (paper Sec 4.2, Table 3).
+struct FrameQuerySpec {
+  sim::DatasetId dataset = sim::DatasetId::kSynthetic;
+  /// "count", "region", or "hotspot".
+  std::string kind;
+  /// Threshold N; 0 requests auto-calibration (raised until the fraction
+  /// of matching frames drops below ~15%).
+  int n = 0;
+  double hotspot_radius = 120.0;
+  geom::Polygon region;
+  int limit = 25;
+  int min_separation_sec = 5;
+
+  std::unique_ptr<query::FramePredicate> MakePredicate() const;
+  baselines::FrameTarget MakeTarget() const;
+};
+
+/// The six frame-level queries from the paper: count on UAV and Tokyo,
+/// region on Jackson and Caldot1, hot spot on Warsaw and Amsterdam.
+std::vector<FrameQuerySpec> StandardFrameQueries();
+
+/// Raises `spec->n` until at most `max_match_fraction` of the clips'
+/// frames match (ground truth), starting from 2.
+void CalibrateFrameQuery(const std::vector<sim::Clip>& clips,
+                         double max_match_fraction, FrameQuerySpec* spec);
+
+}  // namespace otif::eval
+
+#endif  // OTIF_EVAL_WORKLOAD_H_

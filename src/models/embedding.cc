@@ -1,0 +1,59 @@
+#include "models/embedding.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace otif::models {
+
+double FrameEmbedding::DistanceTo(const FrameEmbedding& other) const {
+  OTIF_CHECK_EQ(values.size(), other.values.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - other.values[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+FrameEmbedding EmbedFrame(const video::Image& frame) {
+  OTIF_CHECK(!frame.empty());
+  constexpr int kGrid = 8;
+  FrameEmbedding emb;
+  emb.values.assign(kEmbeddingDim, 0.0f);
+  const int w = frame.width(), h = frame.height();
+  for (int gy = 0; gy < kGrid; ++gy) {
+    const int y0 = gy * h / kGrid;
+    const int y1 = std::max(y0 + 1, (gy + 1) * h / kGrid);
+    for (int gx = 0; gx < kGrid; ++gx) {
+      const int x0 = gx * w / kGrid;
+      const int x1 = std::max(x0 + 1, (gx + 1) * w / kGrid);
+      double sum = 0.0, sum_sq = 0.0;
+      int count = 0;
+      for (int y = y0; y < y1 && y < h; ++y) {
+        for (int x = x0; x < x1 && x < w; ++x) {
+          const double v = frame.at(x, y);
+          sum += v;
+          sum_sq += v * v;
+          ++count;
+        }
+      }
+      const double mean = count > 0 ? sum / count : 0.0;
+      const double var = count > 0 ? std::max(0.0, sum_sq / count - mean * mean)
+                                   : 0.0;
+      emb.values[static_cast<size_t>(gy) * kGrid + gx] =
+          static_cast<float>(mean);
+      emb.values[64 + static_cast<size_t>(gy) * kGrid + gx] =
+          static_cast<float>(std::sqrt(var));
+    }
+  }
+  return emb;
+}
+
+double EmbeddingSecondsPerFrame() {
+  // A ResNet-18-class extractor at 224x224: ~2 GFLOPs, ~3.5 ms on a V100
+  // with batching.
+  return 3.5e-3;
+}
+
+}  // namespace otif::models

@@ -1,0 +1,37 @@
+#ifndef OTIF_MODELS_EMBEDDING_H_
+#define OTIF_MODELS_EMBEDDING_H_
+
+#include <vector>
+
+#include "video/image.h"
+
+namespace otif::models {
+
+/// Query-agnostic per-frame feature extractor used by the TASTI baseline.
+/// TASTI processes every frame at 224x224 through an embedding CNN; here the
+/// embedding is an 8x8 grid of local intensity means plus deviations
+/// (128-d), which captures the same "where is stuff in the frame" signal at
+/// simulator fidelity. The cost model charges the 224x224 CNN price.
+struct FrameEmbedding {
+  std::vector<float> values;
+
+  /// Euclidean distance between embeddings (dimensions must match).
+  double DistanceTo(const FrameEmbedding& other) const;
+};
+
+/// Embedding dimensionality (8x8 means + 8x8 deviations).
+inline constexpr int kEmbeddingDim = 128;
+
+/// Side length of the input TASTI's real extractor would consume; drives
+/// the simulated cost (224x224 pixels per frame).
+inline constexpr int kEmbeddingInputSide = 224;
+
+/// Computes the embedding of a frame.
+FrameEmbedding EmbedFrame(const video::Image& frame);
+
+/// Simulated seconds to embed one frame (CNN at 224x224).
+double EmbeddingSecondsPerFrame();
+
+}  // namespace otif::models
+
+#endif  // OTIF_MODELS_EMBEDDING_H_

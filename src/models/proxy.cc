@@ -1,0 +1,125 @@
+#include "models/proxy.h"
+
+#include <memory>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace otif::models {
+
+std::vector<ProxyResolution> StandardProxyResolutions() {
+  return {{416, 256}, {352, 224}, {288, 160}, {224, 128}, {160, 96}};
+}
+
+ProxyModel::ProxyModel(ProxyResolution resolution, uint64_t seed)
+    : resolution_(resolution) {
+  OTIF_CHECK_EQ(resolution_.world_w % 32, 0);
+  OTIF_CHECK_EQ(resolution_.world_h % 32, 0);
+  Rng rng(seed);
+  net_.Add(std::make_unique<nn::Conv2d>(1, 8, 3, 2, &rng));
+  net_.Add(std::make_unique<nn::Relu>());
+  net_.Add(std::make_unique<nn::Conv2d>(8, 16, 3, 2, &rng));
+  net_.Add(std::make_unique<nn::Relu>());
+  net_.Add(std::make_unique<nn::Conv2d>(16, 16, 3, 2, &rng));
+  net_.Add(std::make_unique<nn::Relu>());
+  net_.Add(std::make_unique<nn::Conv2d>(16, 1, 3, 1, &rng));
+  std::vector<nn::Parameter*> params;
+  net_.CollectParameters(&params);
+  nn::Adam::Options opts;
+  opts.learning_rate = 2e-3;
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), opts);
+}
+
+nn::Tensor ProxyModel::ImageToTensor(const video::Image& frame) const {
+  video::Image sized = frame;
+  if (frame.width() != resolution_.raster_w() ||
+      frame.height() != resolution_.raster_h()) {
+    sized = frame.Resized(resolution_.raster_w(), resolution_.raster_h());
+  }
+  nn::Tensor t({1, resolution_.raster_h(), resolution_.raster_w()});
+  for (int y = 0; y < sized.height(); ++y) {
+    for (int x = 0; x < sized.width(); ++x) {
+      // Center pixel values around zero for conditioning.
+      t.at3(0, y, x) = sized.at(x, y) - 0.5f;
+    }
+  }
+  return t;
+}
+
+nn::Tensor ProxyModel::ForwardLogits(const video::Image& frame) {
+  nn::Tensor logits = net_.Forward(ImageToTensor(frame));
+  OTIF_CHECK_EQ(logits.dim(0), 1);
+  OTIF_CHECK_EQ(logits.dim(1), resolution_.grid_h());
+  OTIF_CHECK_EQ(logits.dim(2), resolution_.grid_w());
+  return logits;
+}
+
+nn::Tensor ProxyModel::Score(const video::Image& frame) {
+  nn::Tensor logits = ForwardLogits(frame);
+  net_.ClearCache();
+  nn::Tensor probs({resolution_.grid_h(), resolution_.grid_w()});
+  for (int64_t i = 0; i < probs.size(); ++i) {
+    probs[i] = nn::StableSigmoid(logits[i]);
+  }
+  return probs;
+}
+
+double ProxyModel::TrainStep(const video::Image& frame,
+                             const nn::Tensor& labels) {
+  OTIF_CHECK_EQ(labels.dim(0), resolution_.grid_h());
+  OTIF_CHECK_EQ(labels.dim(1), resolution_.grid_w());
+  nn::Tensor logits = ForwardLogits(frame);
+  // Reshape labels to the logits' (1, H, W) shape for the loss.
+  nn::Tensor target({1, resolution_.grid_h(), resolution_.grid_w()});
+  for (int64_t i = 0; i < labels.size(); ++i) target[i] = labels[i];
+  nn::Tensor grad;
+  const double loss = nn::BceWithLogits(logits, target, nullptr, &grad);
+  net_.Backward(grad);
+  optimizer_->Step();
+  return loss;
+}
+
+geom::BBox ProxyModel::CellRect(int gx, int gy, double frame_w,
+                                double frame_h) const {
+  const double cell_w = frame_w / resolution_.grid_w();
+  const double cell_h = frame_h / resolution_.grid_h();
+  return geom::BBox::FromCorners(gx * cell_w, gy * cell_h, (gx + 1) * cell_w,
+                                 (gy + 1) * cell_h);
+}
+
+nn::Tensor ProxyModel::MakeLabels(const track::FrameDetections& detections,
+                                  double frame_w, double frame_h) const {
+  nn::Tensor labels({resolution_.grid_h(), resolution_.grid_w()});
+  for (int gy = 0; gy < resolution_.grid_h(); ++gy) {
+    for (int gx = 0; gx < resolution_.grid_w(); ++gx) {
+      const geom::BBox cell = CellRect(gx, gy, frame_w, frame_h);
+      for (const track::Detection& d : detections) {
+        if (cell.Intersects(d.box)) {
+          labels[static_cast<int64_t>(gy) * resolution_.grid_w() + gx] = 1.0f;
+          break;
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+double TrainProxyModel(ProxyModel* model,
+                       const std::function<ProxySample()>& sampler,
+                       int steps) {
+  OTIF_CHECK_GT(steps, 0);
+  double tail_loss = 0.0;
+  int tail_count = 0;
+  const int tail_start = steps - steps / 4;
+  for (int step = 0; step < steps; ++step) {
+    const ProxySample sample = sampler();
+    const double loss = model->TrainStep(sample.frame, sample.labels);
+    if (step >= tail_start) {
+      tail_loss += loss;
+      ++tail_count;
+    }
+  }
+  return tail_count > 0 ? tail_loss / tail_count : 0.0;
+}
+
+}  // namespace otif::models

@@ -1,0 +1,451 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otif::nn {
+namespace {
+
+int OutDim(int in, int stride) { return (in + stride - 1) / stride; }
+
+}  // namespace
+
+float StableSigmoid(float x) {
+  if (x >= 0) {
+    const float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+// --- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weight_(Tensor::RandomHe({out_channels, in_channels, kernel, kernel},
+                               in_channels * kernel * kernel, rng)),
+      bias_(Tensor::Zeros({out_channels})) {
+  OTIF_CHECK_EQ(kernel % 2, 1) << "'same' padding requires odd kernels";
+  OTIF_CHECK_GE(stride, 1);
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  OTIF_CHECK_EQ(input.ndim(), 3);
+  OTIF_CHECK_EQ(input.dim(0), in_channels_);
+  const int h = input.dim(1), w = input.dim(2);
+  const int oh = OutDim(h, stride_), ow = OutDim(w, stride_);
+  const int pad = kernel_ / 2;
+  Tensor out({out_channels_, oh, ow});
+  const float* wdata = weight_.value.data();
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    const float b = bias_.value[oc];
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = b;
+        const int iy0 = oy * stride_ - pad;
+        const int ix0 = ox * stride_ - pad;
+        for (int ic = 0; ic < in_channels_; ++ic) {
+          const float* wk =
+              wdata + ((static_cast<size_t>(oc) * in_channels_ + ic) *
+                       kernel_ * kernel_);
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const int kx_lo = std::max(0, -ix0);
+            const int kx_hi = std::min(kernel_, w - ix0);
+            const float* in_row = input.data() +
+                                  (static_cast<size_t>(ic) * h + iy) * w + ix0;
+            const float* w_row = wk + static_cast<size_t>(ky) * kernel_;
+            for (int kx = kx_lo; kx < kx_hi; ++kx) {
+              acc += w_row[kx] * in_row[kx];
+            }
+          }
+        }
+        out.at3(oc, oy, ox) = acc;
+      }
+    }
+  }
+  cache_.push_back(input);
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  OTIF_CHECK(!cache_.empty()) << "Backward without matching Forward";
+  const Tensor input = std::move(cache_.back());
+  cache_.pop_back();
+  const int h = input.dim(1), w = input.dim(2);
+  const int oh = OutDim(h, stride_), ow = OutDim(w, stride_);
+  OTIF_CHECK_EQ(grad_output.dim(0), out_channels_);
+  OTIF_CHECK_EQ(grad_output.dim(1), oh);
+  OTIF_CHECK_EQ(grad_output.dim(2), ow);
+  const int pad = kernel_ / 2;
+
+  Tensor grad_in({in_channels_, h, w});
+  float* gw = weight_.grad.data();
+  const float* wdata = weight_.value.data();
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const float go = grad_output.at3(oc, oy, ox);
+        if (go == 0.0f) continue;
+        bias_.grad[oc] += go;
+        const int iy0 = oy * stride_ - pad;
+        const int ix0 = ox * stride_ - pad;
+        for (int ic = 0; ic < in_channels_; ++ic) {
+          const size_t wbase =
+              (static_cast<size_t>(oc) * in_channels_ + ic) * kernel_ *
+              kernel_;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const int kx_lo = std::max(0, -ix0);
+            const int kx_hi = std::min(kernel_, w - ix0);
+            const float* in_row = input.data() +
+                                  (static_cast<size_t>(ic) * h + iy) * w + ix0;
+            float* gin_row = grad_in.data() +
+                             (static_cast<size_t>(ic) * h + iy) * w + ix0;
+            const size_t wrow = wbase + static_cast<size_t>(ky) * kernel_;
+            for (int kx = kx_lo; kx < kx_hi; ++kx) {
+              gw[wrow + kx] += go * in_row[kx];
+              gin_row[kx] += go * wdata[wrow + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  out->push_back(&bias_);
+}
+
+// --- Linear -----------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::RandomHe({out_features, in_features}, in_features, rng)),
+      bias_(Tensor::Zeros({out_features})) {}
+
+Tensor Linear::Forward(const Tensor& input) {
+  OTIF_CHECK_EQ(input.size(), in_features_);
+  Tensor out({out_features_});
+  const float* wdata = weight_.value.data();
+  for (int o = 0; o < out_features_; ++o) {
+    float acc = bias_.value[o];
+    const float* wrow = wdata + static_cast<size_t>(o) * in_features_;
+    for (int i = 0; i < in_features_; ++i) acc += wrow[i] * input[i];
+    out[o] = acc;
+  }
+  cache_.push_back(input);
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  OTIF_CHECK(!cache_.empty());
+  const Tensor input = std::move(cache_.back());
+  cache_.pop_back();
+  OTIF_CHECK_EQ(grad_output.size(), out_features_);
+  Tensor grad_in({in_features_});
+  float* gw = weight_.grad.data();
+  const float* wdata = weight_.value.data();
+  for (int o = 0; o < out_features_; ++o) {
+    const float go = grad_output[o];
+    bias_.grad[o] += go;
+    float* gw_row = gw + static_cast<size_t>(o) * in_features_;
+    const float* wrow = wdata + static_cast<size_t>(o) * in_features_;
+    for (int i = 0; i < in_features_; ++i) {
+      gw_row[i] += go * input[i];
+      grad_in[i] += go * wrow[i];
+    }
+  }
+  return grad_in;
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  out->push_back(&bias_);
+}
+
+// --- Elementwise activations -------------------------------------------------
+
+Tensor Relu::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  OTIF_CHECK(!cache_.empty());
+  const Tensor out = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor grad_in = grad_output;
+  for (int64_t i = 0; i < grad_in.size(); ++i) {
+    if (out[i] <= 0.0f) grad_in[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = StableSigmoid(out[i]);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  OTIF_CHECK(!cache_.empty());
+  const Tensor out = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor grad_in = grad_output;
+  for (int64_t i = 0; i < grad_in.size(); ++i) {
+    grad_in[i] *= out[i] * (1.0f - out[i]);
+  }
+  return grad_in;
+}
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  OTIF_CHECK(!cache_.empty());
+  const Tensor out = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor grad_in = grad_output;
+  for (int64_t i = 0; i < grad_in.size(); ++i) {
+    grad_in[i] *= 1.0f - out[i] * out[i];
+  }
+  return grad_in;
+}
+
+// --- GRU ---------------------------------------------------------------------
+
+namespace {
+
+// y = W x + U h + b, all 1-D.
+Tensor Affine2(const Parameter& w, const Parameter& u, const Parameter& b,
+               const Tensor& x, const Tensor& h) {
+  const int out_dim = b.value.dim(0);
+  const int in_dim = static_cast<int>(x.size());
+  const int hid_dim = static_cast<int>(h.size());
+  Tensor y({out_dim});
+  for (int o = 0; o < out_dim; ++o) {
+    float acc = b.value[o];
+    const float* wrow = w.value.data() + static_cast<size_t>(o) * in_dim;
+    for (int i = 0; i < in_dim; ++i) acc += wrow[i] * x[i];
+    const float* urow = u.value.data() + static_cast<size_t>(o) * hid_dim;
+    for (int i = 0; i < hid_dim; ++i) acc += urow[i] * h[i];
+    y[o] = acc;
+  }
+  return y;
+}
+
+// Accumulates gradients for y = W x + U h + b given dL/dy; adds into
+// grad_x/grad_h.
+void Affine2Backward(Parameter* w, Parameter* u, Parameter* b,
+                     const Tensor& x, const Tensor& h, const Tensor& grad_y,
+                     Tensor* grad_x, Tensor* grad_h) {
+  const int out_dim = b->value.dim(0);
+  const int in_dim = static_cast<int>(x.size());
+  const int hid_dim = static_cast<int>(h.size());
+  for (int o = 0; o < out_dim; ++o) {
+    const float gy = grad_y[o];
+    if (gy == 0.0f) continue;
+    b->grad[o] += gy;
+    float* gw = w->grad.data() + static_cast<size_t>(o) * in_dim;
+    const float* wrow = w->value.data() + static_cast<size_t>(o) * in_dim;
+    for (int i = 0; i < in_dim; ++i) {
+      gw[i] += gy * x[i];
+      (*grad_x)[i] += gy * wrow[i];
+    }
+    float* gu = u->grad.data() + static_cast<size_t>(o) * hid_dim;
+    const float* urow = u->value.data() + static_cast<size_t>(o) * hid_dim;
+    for (int i = 0; i < hid_dim; ++i) {
+      gu[i] += gy * h[i];
+      (*grad_h)[i] += gy * urow[i];
+    }
+  }
+}
+
+}  // namespace
+
+GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      wz_(Tensor::RandomHe({hidden_size, input_size}, input_size, rng)),
+      uz_(Tensor::RandomHe({hidden_size, hidden_size}, hidden_size, rng)),
+      bz_(Tensor::Zeros({hidden_size})),
+      wr_(Tensor::RandomHe({hidden_size, input_size}, input_size, rng)),
+      ur_(Tensor::RandomHe({hidden_size, hidden_size}, hidden_size, rng)),
+      br_(Tensor::Zeros({hidden_size})),
+      wh_(Tensor::RandomHe({hidden_size, input_size}, input_size, rng)),
+      uh_(Tensor::RandomHe({hidden_size, hidden_size}, hidden_size, rng)),
+      bh_(Tensor::Zeros({hidden_size})) {}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev) {
+  OTIF_CHECK_EQ(x.size(), input_size_);
+  OTIF_CHECK_EQ(h_prev.size(), hidden_size_);
+  StepCache c;
+  c.x = x;
+  c.h_prev = h_prev;
+
+  c.z = Affine2(wz_, uz_, bz_, x, h_prev);
+  for (int64_t i = 0; i < c.z.size(); ++i) c.z[i] = StableSigmoid(c.z[i]);
+  c.r = Affine2(wr_, ur_, br_, x, h_prev);
+  for (int64_t i = 0; i < c.r.size(); ++i) c.r[i] = StableSigmoid(c.r[i]);
+
+  Tensor rh({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) rh[i] = c.r[i] * h_prev[i];
+  c.h_cand = Affine2(wh_, uh_, bh_, x, rh);
+  for (int64_t i = 0; i < c.h_cand.size(); ++i) {
+    c.h_cand[i] = std::tanh(c.h_cand[i]);
+  }
+
+  Tensor h_new({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    h_new[i] = (1.0f - c.z[i]) * h_prev[i] + c.z[i] * c.h_cand[i];
+  }
+  cache_.push_back(std::move(c));
+  return h_new;
+}
+
+std::pair<Tensor, Tensor> GruCell::StepBackward(const Tensor& grad_h_new) {
+  OTIF_CHECK(!cache_.empty());
+  StepCache c = std::move(cache_.back());
+  cache_.pop_back();
+
+  Tensor grad_x({input_size_});
+  Tensor grad_h_prev({hidden_size_});
+
+  // h_new = (1 - z) * h_prev + z * h_cand
+  Tensor grad_z({hidden_size_});
+  Tensor grad_h_cand({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    const float g = grad_h_new[i];
+    grad_h_prev[i] += g * (1.0f - c.z[i]);
+    grad_z[i] = g * (c.h_cand[i] - c.h_prev[i]);
+    grad_h_cand[i] = g * c.z[i];
+  }
+
+  // h_cand = tanh(pre_h); pre_h = Wh x + Uh (r*h_prev) + bh
+  Tensor grad_pre_h({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    grad_pre_h[i] = grad_h_cand[i] * (1.0f - c.h_cand[i] * c.h_cand[i]);
+  }
+  Tensor rh({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) rh[i] = c.r[i] * c.h_prev[i];
+  Tensor grad_rh({hidden_size_});
+  Affine2Backward(&wh_, &uh_, &bh_, c.x, rh, grad_pre_h, &grad_x, &grad_rh);
+  Tensor grad_r({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    grad_r[i] = grad_rh[i] * c.h_prev[i];
+    grad_h_prev[i] += grad_rh[i] * c.r[i];
+  }
+
+  // r = sigmoid(pre_r); pre_r = Wr x + Ur h_prev + br
+  Tensor grad_pre_r({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    grad_pre_r[i] = grad_r[i] * c.r[i] * (1.0f - c.r[i]);
+  }
+  Affine2Backward(&wr_, &ur_, &br_, c.x, c.h_prev, grad_pre_r, &grad_x,
+                  &grad_h_prev);
+
+  // z = sigmoid(pre_z); pre_z = Wz x + Uz h_prev + bz
+  Tensor grad_pre_z({hidden_size_});
+  for (int i = 0; i < hidden_size_; ++i) {
+    grad_pre_z[i] = grad_z[i] * c.z[i] * (1.0f - c.z[i]);
+  }
+  Affine2Backward(&wz_, &uz_, &bz_, c.x, c.h_prev, grad_pre_z, &grad_x,
+                  &grad_h_prev);
+
+  return {std::move(grad_x), std::move(grad_h_prev)};
+}
+
+void GruCell::CollectParameters(std::vector<Parameter*>* out) {
+  for (Parameter* p : {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wh_, &uh_, &bh_}) {
+    out->push_back(p);
+  }
+}
+
+// --- Sequential ---------------------------------------------------------------
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer->CollectParameters(out);
+}
+
+void Sequential::ClearCache() {
+  for (auto& layer : layers_) layer->ClearCache();
+}
+
+// --- Losses --------------------------------------------------------------------
+
+double BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     const Tensor* mask, Tensor* grad) {
+  OTIF_CHECK_EQ(logits.size(), targets.size());
+  if (mask != nullptr) OTIF_CHECK_EQ(mask->size(), logits.size());
+  *grad = Tensor(logits.shape());
+  double loss = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    if (mask != nullptr && (*mask)[i] == 0.0f) continue;
+    const float x = logits[i];
+    const float t = targets[i];
+    // log(1 + e^-|x|) + max(x, 0) - x*t is the stable BCE-with-logits form.
+    loss += std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f) - x * t;
+    (*grad)[i] = StableSigmoid(x) - t;
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  const float inv = 1.0f / static_cast<float>(count);
+  grad->Scale(inv);
+  return loss / static_cast<double>(count);
+}
+
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad) {
+  OTIF_CHECK_EQ(pred.size(), target.size());
+  OTIF_CHECK_GT(pred.size(), 0);
+  *grad = Tensor(pred.shape());
+  double loss = 0.0;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += 0.5 * d * d;
+    (*grad)[i] = d;
+  }
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  grad->Scale(inv);
+  return loss / static_cast<double>(pred.size());
+}
+
+}  // namespace otif::nn

@@ -1,0 +1,179 @@
+#ifndef OTIF_NN_LAYERS_H_
+#define OTIF_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace otif::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// Base class for layers. Layers cache forward activations on an internal
+/// stack so the same layer may be applied several times in one example
+/// (weight sharing across time steps or detections); Backward() must then be
+/// called once per Forward() in reverse order (LIFO).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer; pushes whatever Backward will need onto the cache.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Pops the most recent forward cache, accumulates parameter gradients,
+  /// and returns the gradient with respect to that forward's input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Appends this layer's parameters (may be none).
+  virtual void CollectParameters(std::vector<Parameter*>* out) {}
+
+  /// Drops any cached activations (e.g. after an inference-only pass).
+  virtual void ClearCache() = 0;
+};
+
+/// 2-D convolution over (C, H, W) tensors with 'same' padding (k odd) and
+/// integer stride. Output is (out_channels, ceil(H/stride), ceil(W/stride)).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void ClearCache() override { cache_.clear(); }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, stride_;
+  Parameter weight_;  // (out_ch, in_ch, k, k) flattened as 4-D.
+  Parameter bias_;    // (out_ch)
+  std::vector<Tensor> cache_;  // Cached inputs.
+};
+
+/// Fully connected layer over 1-D tensors.
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void ClearCache() override { cache_.clear(); }
+
+ private:
+  int in_features_, out_features_;
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+  std::vector<Tensor> cache_;
+};
+
+/// Elementwise ReLU.
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void ClearCache() override { cache_.clear(); }
+
+ private:
+  std::vector<Tensor> cache_;  // Cached outputs (mask source).
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void ClearCache() override { cache_.clear(); }
+
+ private:
+  std::vector<Tensor> cache_;  // Cached outputs.
+};
+
+/// Elementwise tanh.
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void ClearCache() override { cache_.clear(); }
+
+ private:
+  std::vector<Tensor> cache_;
+};
+
+/// Gated recurrent unit cell. Step() consumes (x, h) and returns h'; the
+/// sequence wrapper below manages hidden-state plumbing. Backward follows
+/// the same LIFO discipline as Layer but with a two-gradient signature.
+class GruCell {
+ public:
+  GruCell(int input_size, int hidden_size, Rng* rng);
+
+  int hidden_size() const { return hidden_size_; }
+  int input_size() const { return input_size_; }
+
+  /// One recurrence step.
+  Tensor Step(const Tensor& x, const Tensor& h_prev);
+
+  /// Backward for the most recent Step: given dL/dh', accumulates parameter
+  /// gradients and returns (dL/dx, dL/dh_prev).
+  std::pair<Tensor, Tensor> StepBackward(const Tensor& grad_h_new);
+
+  void CollectParameters(std::vector<Parameter*>* out);
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  struct StepCache {
+    Tensor x, h_prev, z, r, h_cand;
+  };
+
+  int input_size_, hidden_size_;
+  // Gate weights: each (hidden, input) and (hidden, hidden) plus bias.
+  Parameter wz_, uz_, bz_;
+  Parameter wr_, ur_, br_;
+  Parameter wh_, uh_, bh_;
+  std::vector<StepCache> cache_;
+};
+
+/// Sequential container of layers (each applied in order).
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void ClearCache() override;
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Binary cross-entropy with logits, averaged over all elements. `mask`
+/// (optional, same shape, 0/1) restricts which elements contribute.
+/// Returns the mean loss and writes dL/dlogits into `grad`.
+double BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     const Tensor* mask, Tensor* grad);
+
+/// Mean squared error, averaged over all elements; writes dL/dpred.
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad);
+
+/// Numerically stable logistic function.
+float StableSigmoid(float x);
+
+}  // namespace otif::nn
+
+#endif  // OTIF_NN_LAYERS_H_

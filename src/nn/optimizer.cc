@@ -1,0 +1,54 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace otif::nn {
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    OTIF_CHECK(p != nullptr);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  // Optional global-norm clipping stabilizes RNN training.
+  double scale = 1.0;
+  if (options_.clip_norm > 0) {
+    double sq = 0.0;
+    for (Parameter* p : params_) sq += p->grad.SumSquares();
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_);
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter* p = params_[pi];
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i] * scale;
+      m[i] = static_cast<float>(options_.beta1 * m[i] +
+                                (1.0 - options_.beta1) * g);
+      v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                (1.0 - options_.beta2) * g * g);
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      p->value[i] -= static_cast<float>(
+          options_.learning_rate * m_hat /
+          (std::sqrt(v_hat) + options_.epsilon));
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+}  // namespace otif::nn

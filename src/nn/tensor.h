@@ -1,0 +1,92 @@
+#ifndef OTIF_NN_TENSOR_H_
+#define OTIF_NN_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace otif::nn {
+
+/// Dense float tensor with up to 4 dimensions. Layout is row-major over the
+/// shape vector; conv layers interpret 3-D tensors as (channels, height,
+/// width). Designed for single-example training of small models on CPU.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+    int64_t n = 1;
+    for (int d : shape_) {
+      OTIF_CHECK_GT(d, 0);
+      n *= d;
+    }
+    data_.assign(static_cast<size_t>(n), 0.0f);
+  }
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  /// He-style initialization: normal with std sqrt(2 / fan_in).
+  static Tensor RandomHe(std::vector<int> shape, int fan_in, Rng* rng) {
+    Tensor t(std::move(shape));
+    const double std = std::sqrt(2.0 / std::max(1, fan_in));
+    for (float& v : t.data_) v = static_cast<float>(rng->Gaussian(0.0, std));
+    return t;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const {
+    OTIF_CHECK_LT(static_cast<size_t>(i), shape_.size());
+    return shape_[static_cast<size_t>(i)];
+  }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 3-D accessor (c, y, x) for (C, H, W) tensors.
+  float& at3(int c, int y, int x) {
+    return data_[Index3(c, y, x)];
+  }
+  float at3(int c, int y, int x) const { return data_[Index3(c, y, x)]; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Elementwise in-place addition; shapes must match.
+  void Add(const Tensor& o) {
+    OTIF_CHECK_EQ(size(), o.size());
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  }
+
+  /// In-place scale.
+  void Scale(float s) {
+    for (float& v : data_) v *= s;
+  }
+
+  /// Sum of squared entries (for gradient-norm diagnostics).
+  double SumSquares() const {
+    double s = 0.0;
+    for (float v : data_) s += static_cast<double>(v) * v;
+    return s;
+  }
+
+ private:
+  size_t Index3(int c, int y, int x) const {
+    OTIF_CHECK_EQ(shape_.size(), 3u);
+    OTIF_CHECK(c >= 0 && c < shape_[0] && y >= 0 && y < shape_[1] && x >= 0 &&
+               x < shape_[2])
+        << c << "," << y << "," << x;
+    return (static_cast<size_t>(c) * shape_[1] + y) * shape_[2] + x;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace otif::nn
+
+#endif  // OTIF_NN_TENSOR_H_

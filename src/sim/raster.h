@@ -1,0 +1,40 @@
+#ifndef OTIF_SIM_RASTER_H_
+#define OTIF_SIM_RASTER_H_
+
+#include <map>
+#include <utility>
+
+#include "sim/world.h"
+#include "video/image.h"
+
+namespace otif::sim {
+
+/// Renders grayscale frames of a clip at arbitrary resolutions. The frame
+/// content is what the (real, trained) segmentation proxy model consumes:
+/// a static per-dataset background texture with darker road bands along the
+/// spawn paths, objects drawn as shaded boxes, and per-frame sensor noise.
+///
+/// Backgrounds are cached per output resolution; rendering a frame costs
+/// O(output pixels + object pixels).
+class Rasterizer {
+ public:
+  /// `clip` must outlive the rasterizer.
+  explicit Rasterizer(const Clip* clip);
+
+  /// Renders frame `frame` at `width` x `height` output pixels.
+  video::Image Render(int frame, int width, int height);
+
+  /// Renders the static background only (no objects, no noise); exposed for
+  /// tests and for video-encoding calibration.
+  const video::Image& Background(int width, int height);
+
+ private:
+  video::Image BuildBackground(int width, int height) const;
+
+  const Clip* clip_;  // Not owned.
+  std::map<std::pair<int, int>, video::Image> background_cache_;
+};
+
+}  // namespace otif::sim
+
+#endif  // OTIF_SIM_RASTER_H_

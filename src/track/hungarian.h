@@ -1,0 +1,23 @@
+#ifndef OTIF_TRACK_HUNGARIAN_H_
+#define OTIF_TRACK_HUNGARIAN_H_
+
+#include <vector>
+
+namespace otif::track {
+
+/// Solves the rectangular assignment problem: given a cost matrix
+/// cost[i][j] (rows = workers, cols = jobs), returns for each row the
+/// assigned column or -1 when unassigned. Minimizes total cost; rows/columns
+/// beyond the square dimension stay unassigned. O(n^3) Jonker-style
+/// augmenting-path implementation.
+std::vector<int> SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Greedy fallback used by some baselines: repeatedly picks the lowest-cost
+/// remaining pair while the cost is below `max_cost`.
+std::vector<int> GreedyAssignment(
+    const std::vector<std::vector<double>>& cost, double max_cost);
+
+}  // namespace otif::track
+
+#endif  // OTIF_TRACK_HUNGARIAN_H_

@@ -1,0 +1,146 @@
+#include "track/recurrent_tracker.h"
+
+#include <algorithm>
+
+#include "track/hungarian.h"
+#include "util/logging.h"
+
+namespace otif::track {
+
+RecurrentTracker::RecurrentTracker(models::TrackerNet* net, Options options)
+    : net_(net), options_(options) {
+  OTIF_CHECK(net != nullptr);
+  OTIF_CHECK_GT(options_.fps, 0);
+}
+
+void RecurrentTracker::ProcessFrame(int frame,
+                                    const FrameDetections& detections) {
+  ProcessFrameWithAppearance(
+      frame, detections,
+      std::vector<std::pair<double, double>>(detections.size(), {0.5, 0.1}));
+}
+
+void RecurrentTracker::ProcessFrameWithAppearance(
+    int frame, const FrameDetections& detections,
+    const std::vector<std::pair<double, double>>& appearance) {
+  OTIF_CHECK_GT(frame, last_processed_frame_);
+  OTIF_CHECK_EQ(appearance.size(), detections.size());
+
+  const size_t n_tracks = active_.size();
+  const size_t n_dets = detections.size();
+
+  // Detection features: t_elapsed is the gap since the previously processed
+  // frame (paper Sec 3.4 "Training", last paragraph).
+  const double t_elapsed =
+      last_processed_frame_ >= 0 ? frame - last_processed_frame_ : 1;
+  std::vector<nn::Tensor> det_features;
+  det_features.reserve(n_dets);
+  for (size_t d = 0; d < n_dets; ++d) {
+    det_features.push_back(models::TrackerNet::DetFeature(
+        detections[d], t_elapsed, options_.fps, options_.frame_w,
+        options_.frame_h, appearance[d].first, appearance[d].second));
+  }
+
+  std::vector<int> det_for_track(n_tracks, -1);
+  if (n_tracks > 0 && n_dets > 0) {
+    std::vector<std::vector<double>> cost(
+        n_tracks, std::vector<double>(n_dets, 1.0));
+    for (size_t t = 0; t < n_tracks; ++t) {
+      const auto& dets_so_far = active_[t].track.detections;
+      const Detection& last = dets_so_far.back();
+      const Detection& prev = dets_so_far.size() >= 2
+                                  ? dets_so_far[dets_so_far.size() - 2]
+                                  : last;
+      for (size_t d = 0; d < n_dets; ++d) {
+        // Cheap gate: skip pairs that moved implausibly far (more than
+        // half the frame diagonal); keeps pair scoring near-linear.
+        const double dist =
+            last.box.Center().DistanceTo(detections[d].box.Center());
+        const double gate =
+            0.5 * std::sqrt(options_.frame_w * options_.frame_w +
+                            options_.frame_h * options_.frame_h);
+        if (dist > gate) continue;
+        const nn::Tensor pair = models::TrackerNet::PairFeature(
+            prev, last, detections[d], options_.fps, options_.frame_w,
+            options_.frame_h);
+        const double p =
+            net_->ScorePair(active_[t].hidden, det_features[d], pair);
+        ++pair_scores_;
+        cost[t][d] = 1.0 - p;
+      }
+    }
+    det_for_track = SolveAssignment(cost);
+    for (size_t t = 0; t < n_tracks; ++t) {
+      const int d = det_for_track[t];
+      if (d >= 0 && cost[t][static_cast<size_t>(d)] >
+                        1.0 - options_.match_threshold) {
+        det_for_track[t] = -1;
+      }
+    }
+  }
+
+  std::vector<char> det_used(n_dets, 0);
+  for (size_t t = 0; t < n_tracks; ++t) {
+    const int d = det_for_track[t];
+    if (d >= 0) {
+      det_used[static_cast<size_t>(d)] = 1;
+      // Fold the matched detection into the track's GRU state. The
+      // detection feature's t_elapsed is re-derived relative to this
+      // track's own last detection.
+      const Detection& last = active_[t].track.detections.back();
+      nn::Tensor f = models::TrackerNet::DetFeature(
+          detections[static_cast<size_t>(d)], frame - last.frame,
+          options_.fps, options_.frame_w, options_.frame_h,
+          appearance[static_cast<size_t>(d)].first,
+          appearance[static_cast<size_t>(d)].second);
+      active_[t].hidden = net_->Advance(active_[t].hidden, f);
+      active_[t].track.detections.push_back(
+          detections[static_cast<size_t>(d)]);
+      active_[t].misses = 0;
+    } else {
+      ++active_[t].misses;
+    }
+  }
+
+  for (size_t t = active_.size(); t-- > 0;) {
+    if (active_[t].misses > options_.max_misses) {
+      finished_.push_back(std::move(active_[t].track));
+      active_[t] = std::move(active_.back());
+      active_.pop_back();
+    }
+  }
+
+  for (size_t d = 0; d < n_dets; ++d) {
+    if (det_used[d]) continue;
+    ActiveTrack at;
+    at.track.id = next_id_++;
+    at.track.cls = detections[d].cls;
+    at.track.detections.push_back(detections[d]);
+    at.hidden = net_->Advance(net_->InitialHidden(), det_features[d]);
+    active_.push_back(std::move(at));
+  }
+
+  last_processed_frame_ = frame;
+}
+
+std::vector<Track> RecurrentTracker::Finish(int min_detections) {
+  std::vector<Track> out;
+  for (Track& t : finished_) {
+    if (static_cast<int>(t.detections.size()) >= min_detections) {
+      out.push_back(std::move(t));
+    }
+  }
+  for (ActiveTrack& at : active_) {
+    if (static_cast<int>(at.track.detections.size()) >= min_detections) {
+      out.push_back(std::move(at.track));
+    }
+  }
+  finished_.clear();
+  active_.clear();
+  last_processed_frame_ = -1;
+  std::sort(out.begin(), out.end(),
+            [](const Track& a, const Track& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace otif::track

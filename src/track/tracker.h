@@ -1,0 +1,29 @@
+#ifndef OTIF_TRACK_TRACKER_H_
+#define OTIF_TRACK_TRACKER_H_
+
+#include <vector>
+
+#include "track/types.h"
+
+namespace otif::track {
+
+/// Online multi-object tracker interface: feed detections frame by frame
+/// (frames may be arbitrarily spaced for reduced-rate tracking), then
+/// harvest the accumulated tracks.
+class Tracker {
+ public:
+  virtual ~Tracker() = default;
+
+  /// Processes the detections of one frame; `frame` must be strictly
+  /// increasing across calls.
+  virtual void ProcessFrame(int frame, const FrameDetections& detections) = 0;
+
+  /// Finalizes and returns all tracks (including still-active ones). Tracks
+  /// with fewer than `min_detections` detections are pruned; the paper
+  /// prunes single-detection tracks as likely spurious (Sec 3.4).
+  virtual std::vector<Track> Finish(int min_detections) = 0;
+};
+
+}  // namespace otif::track
+
+#endif  // OTIF_TRACK_TRACKER_H_

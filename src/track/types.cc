@@ -1,0 +1,96 @@
+#include "track/types.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace otif::track {
+
+const char* ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kBus:
+      return "bus";
+    case ObjectClass::kTruck:
+      return "truck";
+    case ObjectClass::kPedestrian:
+      return "pedestrian";
+  }
+  return "unknown";
+}
+
+int Track::StartFrame() const {
+  OTIF_CHECK(!detections.empty());
+  return detections.front().frame;
+}
+
+int Track::EndFrame() const {
+  OTIF_CHECK(!detections.empty());
+  return detections.back().frame;
+}
+
+int Track::DurationFrames() const {
+  if (detections.empty()) return 0;
+  return EndFrame() - StartFrame() + 1;
+}
+
+std::vector<geom::Point> Track::CenterPolyline() const {
+  std::vector<geom::Point> pts;
+  pts.reserve(detections.size());
+  for (const Detection& d : detections) pts.push_back(d.box.Center());
+  return pts;
+}
+
+geom::BBox Track::InterpolatedBoxAt(int frame) const {
+  OTIF_CHECK(!detections.empty());
+  if (frame <= detections.front().frame) return detections.front().box;
+  if (frame >= detections.back().frame) return detections.back().box;
+  // Find the first detection at or after `frame`.
+  const auto it = std::lower_bound(
+      detections.begin(), detections.end(), frame,
+      [](const Detection& d, int f) { return d.frame < f; });
+  const Detection& hi = *it;
+  if (hi.frame == frame || it == detections.begin()) return hi.box;
+  const Detection& lo = *(it - 1);
+  const double u = static_cast<double>(frame - lo.frame) /
+                   static_cast<double>(hi.frame - lo.frame);
+  return geom::BBox(lo.box.cx + u * (hi.box.cx - lo.box.cx),
+                    lo.box.cy + u * (hi.box.cy - lo.box.cy),
+                    lo.box.w + u * (hi.box.w - lo.box.w),
+                    lo.box.h + u * (hi.box.h - lo.box.h));
+}
+
+bool Track::VisibleNear(int frame, int tolerance) const {
+  for (const Detection& d : detections) {
+    if (std::abs(d.frame - frame) <= tolerance) return true;
+  }
+  return false;
+}
+
+double Track::MeanSpeedPxPerFrame() const {
+  if (detections.size() < 2) return 0.0;
+  double dist = 0.0;
+  for (size_t i = 1; i < detections.size(); ++i) {
+    dist += detections[i].box.Center().DistanceTo(
+        detections[i - 1].box.Center());
+  }
+  const int frames = EndFrame() - StartFrame();
+  if (frames <= 0) return 0.0;
+  return dist / frames;
+}
+
+std::vector<std::pair<int, FrameDetections>> GroupByFrame(
+    const std::vector<Detection>& detections) {
+  std::map<int, FrameDetections> by_frame;
+  for (const Detection& d : detections) by_frame[d.frame].push_back(d);
+  std::vector<std::pair<int, FrameDetections>> out;
+  out.reserve(by_frame.size());
+  for (auto& [frame, dets] : by_frame) {
+    out.emplace_back(frame, std::move(dets));
+  }
+  return out;
+}
+
+}  // namespace otif::track

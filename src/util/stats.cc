@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace otif {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      (p / 100.0) * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double WeightedMedian(const std::vector<double>& values,
+                      const std::vector<double>& weights) {
+  OTIF_CHECK_EQ(values.size(), weights.size());
+  OTIF_CHECK(!values.empty());
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  double total = 0.0;
+  for (double w : weights) {
+    OTIF_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  OTIF_CHECK_GT(total, 0.0);
+  double cumulative = 0.0;
+  for (size_t idx : order) {
+    cumulative += weights[idx];
+    if (cumulative >= 0.5 * total) return values[idx];
+  }
+  return values[order.back()];
+}
+
+}  // namespace otif

@@ -1,0 +1,30 @@
+#ifndef OTIF_UTIL_STRINGS_H_
+#define OTIF_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otif {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace otif
+
+#endif  // OTIF_UTIL_STRINGS_H_

@@ -1,0 +1,382 @@
+#include "video/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace otif::video {
+namespace {
+
+// --- Byte-aligned entropy coding helpers -----------------------------------
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t GetVarint(const std::vector<uint8_t>& in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    OTIF_CHECK_LT(*pos, in.size());
+    const uint8_t byte = in[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// Encodes a sequence of small signed integers with zero run-length coding:
+// a zero run of length n is written as zigzag(0) followed by varint(n - 1).
+void EncodeResidualSeq(const std::vector<int>& values,
+                       std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < values.size()) {
+    if (values[i] == 0) {
+      size_t run = 1;
+      while (i + run < values.size() && values[i + run] == 0) ++run;
+      PutVarint(out, ZigZag(0));
+      PutVarint(out, run - 1);
+      i += run;
+    } else {
+      PutVarint(out, ZigZag(values[i]));
+      ++i;
+    }
+  }
+}
+
+void DecodeResidualSeq(const std::vector<uint8_t>& in, size_t* pos,
+                       size_t count, std::vector<int>* values) {
+  values->clear();
+  values->reserve(count);
+  while (values->size() < count) {
+    const int64_t v = UnZigZag(GetVarint(in, pos));
+    if (v == 0) {
+      const uint64_t run = GetVarint(in, pos) + 1;
+      for (uint64_t r = 0; r < run && values->size() < count; ++r) {
+        values->push_back(0);
+      }
+    } else {
+      values->push_back(static_cast<int>(v));
+    }
+  }
+}
+
+// --- Quantization -----------------------------------------------------------
+
+int QuantizePixel(float v, int levels) {
+  const float clamped = std::clamp(v, 0.0f, 1.0f);
+  return std::min(levels - 1,
+                  static_cast<int>(clamped * static_cast<float>(levels)));
+}
+
+float DequantizePixel(int q, int levels) {
+  return (static_cast<float>(q) + 0.5f) / static_cast<float>(levels);
+}
+
+// Residuals are in [-1, 1]; quantize with a step of 2/levels.
+int QuantizeResidual(float r, int levels) {
+  const float step = 2.0f / static_cast<float>(levels);
+  return static_cast<int>(std::lround(r / step));
+}
+
+float DequantizeResidual(int q, int levels) {
+  const float step = 2.0f / static_cast<float>(levels);
+  return static_cast<float>(q) * step;
+}
+
+// --- Motion search ----------------------------------------------------------
+
+// Sum of absolute differences between the block at (bx, by) in `cur` and the
+// block displaced by (dx, dy) in `ref`. Returns +inf when displaced block is
+// out of bounds.
+float BlockSad(const Image& cur, const Image& ref, int bx, int by, int bw,
+               int bh, int dx, int dy) {
+  if (bx + dx < 0 || by + dy < 0 || bx + dx + bw > ref.width() ||
+      by + dy + bh > ref.height()) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float sad = 0.0f;
+  for (int y = 0; y < bh; ++y) {
+    const float* cur_row = cur.row(by + y) + bx;
+    const float* ref_row = ref.row(by + dy + y) + bx + dx;
+    for (int x = 0; x < bw; ++x) {
+      sad += std::abs(cur_row[x] - ref_row[x]);
+    }
+  }
+  return sad;
+}
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+};
+
+MotionVector SearchMotion(const Image& cur, const Image& ref, int bx, int by,
+                          int bw, int bh, int radius) {
+  MotionVector best;
+  float best_sad = BlockSad(cur, ref, bx, by, bw, bh, 0, 0);
+  // Coarse full search with step 2.
+  for (int dy = -radius; dy <= radius; dy += 2) {
+    for (int dx = -radius; dx <= radius; dx += 2) {
+      const float sad = BlockSad(cur, ref, bx, by, bw, bh, dx, dy);
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = {dx, dy};
+      }
+    }
+  }
+  // Local refinement around the coarse winner.
+  const MotionVector coarse = best;
+  for (int dy = coarse.dy - 1; dy <= coarse.dy + 1; ++dy) {
+    for (int dx = coarse.dx - 1; dx <= coarse.dx + 1; ++dx) {
+      const float sad = BlockSad(cur, ref, bx, by, bw, bh, dx, dy);
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = {dx, dy};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t EncodedVideo::TotalBytes() const {
+  size_t total = 0;
+  for (const EncodedFrame& f : frames) total += f.payload.size();
+  return total;
+}
+
+DecodeStats& DecodeStats::operator+=(const DecodeStats& o) {
+  frames_decoded += o.frames_decoded;
+  intra_frames_decoded += o.intra_frames_decoded;
+  pixels_decoded += o.pixels_decoded;
+  blocks_motion_compensated += o.blocks_motion_compensated;
+  bytes_read += o.bytes_read;
+  return *this;
+}
+
+Encoder::Encoder(CodecConfig config) : config_(config) {
+  OTIF_CHECK_GT(config_.gop_size, 0);
+  OTIF_CHECK_GT(config_.block_size, 0);
+  OTIF_CHECK_GT(config_.quant_levels, 1);
+  OTIF_CHECK_GE(config_.search_radius, 0);
+}
+
+StatusOr<EncodedVideo> Encoder::Encode(
+    const std::vector<Image>& frames) const {
+  if (frames.empty()) {
+    return Status::InvalidArgument("cannot encode an empty frame sequence");
+  }
+  const int width = frames[0].width();
+  const int height = frames[0].height();
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("frames must be non-empty images");
+  }
+  for (const Image& f : frames) {
+    if (f.width() != width || f.height() != height) {
+      return Status::InvalidArgument("all frames must share dimensions");
+    }
+  }
+
+  EncodedVideo video;
+  video.config = config_;
+  video.width = width;
+  video.height = height;
+  video.frames.reserve(frames.size());
+
+  Image reference;  // Previous reconstructed frame.
+  for (size_t t = 0; t < frames.size(); ++t) {
+    const Image& frame = frames[t];
+    EncodedFrame encoded;
+    encoded.is_intra = (t % static_cast<size_t>(config_.gop_size) == 0);
+
+    Image recon(width, height);
+    if (encoded.is_intra) {
+      // Intra: quantize, delta-encode left-to-right per row, RLE zeros.
+      std::vector<int> deltas;
+      deltas.reserve(frame.size());
+      for (int y = 0; y < height; ++y) {
+        int prev = 0;
+        const float* row = frame.row(y);
+        float* recon_row = recon.row(y);
+        for (int x = 0; x < width; ++x) {
+          const int q = QuantizePixel(row[x], config_.quant_levels);
+          deltas.push_back(q - prev);
+          prev = q;
+          recon_row[x] = DequantizePixel(q, config_.quant_levels);
+        }
+      }
+      EncodeResidualSeq(deltas, &encoded.payload);
+    } else {
+      // Predicted: per block, motion vector + optional quantized residual.
+      for (int by = 0; by < height; by += config_.block_size) {
+        const int bh = std::min(config_.block_size, height - by);
+        for (int bx = 0; bx < width; bx += config_.block_size) {
+          const int bw = std::min(config_.block_size, width - bx);
+          const MotionVector mv = SearchMotion(frame, reference, bx, by, bw,
+                                               bh, config_.search_radius);
+          // Residual against the motion-compensated prediction.
+          std::vector<int> residual(static_cast<size_t>(bw) * bh);
+          float mean_abs = 0.0f;
+          for (int y = 0; y < bh; ++y) {
+            const float* cur_row = frame.row(by + y) + bx;
+            const float* ref_row =
+                reference.row(by + mv.dy + y) + bx + mv.dx;
+            for (int x = 0; x < bw; ++x) {
+              const float r = cur_row[x] - ref_row[x];
+              residual[static_cast<size_t>(y) * bw + x] =
+                  QuantizeResidual(r, config_.quant_levels);
+              mean_abs += std::abs(r);
+            }
+          }
+          mean_abs /= static_cast<float>(bw * bh);
+          const bool skip = mean_abs <= config_.skip_threshold;
+          PutVarint(&encoded.payload, ZigZag(mv.dx));
+          PutVarint(&encoded.payload, ZigZag(mv.dy));
+          PutVarint(&encoded.payload, skip ? 0 : 1);
+          if (!skip) EncodeResidualSeq(residual, &encoded.payload);
+          // Reconstruct the block exactly as the decoder will.
+          for (int y = 0; y < bh; ++y) {
+            const float* ref_row =
+                reference.row(by + mv.dy + y) + bx + mv.dx;
+            float* recon_row = recon.row(by + y) + bx;
+            for (int x = 0; x < bw; ++x) {
+              float v = ref_row[x];
+              if (!skip) {
+                v += DequantizeResidual(
+                    residual[static_cast<size_t>(y) * bw + x],
+                    config_.quant_levels);
+              }
+              recon_row[x] = std::clamp(v, 0.0f, 1.0f);
+            }
+          }
+        }
+      }
+    }
+    reference = std::move(recon);
+    video.frames.push_back(std::move(encoded));
+  }
+  return video;
+}
+
+Decoder::Decoder(const EncodedVideo* video) : video_(video) {
+  OTIF_CHECK(video != nullptr);
+}
+
+Status Decoder::DecodeInto(int index, DecodeStats* stats) {
+  const EncodedFrame& encoded = video_->frames[static_cast<size_t>(index)];
+  const int width = video_->width;
+  const int height = video_->height;
+  const CodecConfig& config = video_->config;
+  Image recon(width, height);
+  size_t pos = 0;
+
+  if (encoded.is_intra) {
+    std::vector<int> deltas;
+    DecodeResidualSeq(encoded.payload, &pos,
+                      static_cast<size_t>(width) * height, &deltas);
+    size_t i = 0;
+    for (int y = 0; y < height; ++y) {
+      int q = 0;
+      float* row = recon.row(y);
+      for (int x = 0; x < width; ++x) {
+        q += deltas[i++];
+        row[x] = DequantizePixel(q, config.quant_levels);
+      }
+    }
+    if (stats != nullptr) ++stats->intra_frames_decoded;
+  } else {
+    if (reference_index_ != index - 1) {
+      return Status::FailedPrecondition(
+          "P-frame decoded without its reference");
+    }
+    std::vector<int> residual;
+    for (int by = 0; by < height; by += config.block_size) {
+      const int bh = std::min(config.block_size, height - by);
+      for (int bx = 0; bx < width; bx += config.block_size) {
+        const int bw = std::min(config.block_size, width - bx);
+        const int dx = static_cast<int>(UnZigZag(GetVarint(encoded.payload,
+                                                           &pos)));
+        const int dy = static_cast<int>(UnZigZag(GetVarint(encoded.payload,
+                                                           &pos)));
+        const bool has_residual = GetVarint(encoded.payload, &pos) != 0;
+        if (has_residual) {
+          DecodeResidualSeq(encoded.payload, &pos,
+                            static_cast<size_t>(bw) * bh, &residual);
+        }
+        for (int y = 0; y < bh; ++y) {
+          const float* ref_row = reference_.row(by + dy + y) + bx + dx;
+          float* recon_row = recon.row(by + y) + bx;
+          for (int x = 0; x < bw; ++x) {
+            float v = ref_row[x];
+            if (has_residual) {
+              v += DequantizeResidual(residual[static_cast<size_t>(y) * bw + x],
+                                      config.quant_levels);
+            }
+            recon_row[x] = std::clamp(v, 0.0f, 1.0f);
+          }
+        }
+        if (stats != nullptr) ++stats->blocks_motion_compensated;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    ++stats->frames_decoded;
+    stats->pixels_decoded += static_cast<int64_t>(width) * height;
+    stats->bytes_read += static_cast<int64_t>(encoded.payload.size());
+  }
+  reference_ = std::move(recon);
+  reference_index_ = index;
+  return Status::OK();
+}
+
+StatusOr<Image> Decoder::DecodeFrame(int index, DecodeStats* stats) {
+  if (index < 0 || index >= num_frames()) {
+    return Status::OutOfRange("frame index out of range");
+  }
+  if (index == reference_index_) return reference_;
+  // Two ways to reach `index`: continue forward from the current reference,
+  // or restart from the nearest preceding I-frame. Take whichever decodes
+  // fewer frames.
+  int anchor = index;
+  while (anchor > 0 && !video_->frames[static_cast<size_t>(anchor)].is_intra) {
+    --anchor;
+  }
+  int start = anchor;
+  if (reference_index_ >= 0 && reference_index_ < index &&
+      reference_index_ + 1 > anchor) {
+    start = reference_index_ + 1;
+  }
+  for (int t = start; t <= index; ++t) {
+    OTIF_RETURN_IF_ERROR(DecodeInto(t, stats));
+  }
+  return reference_;
+}
+
+StatusOr<std::vector<Image>> Decoder::DecodeAll(DecodeStats* stats) {
+  std::vector<Image> out;
+  out.reserve(static_cast<size_t>(num_frames()));
+  for (int t = 0; t < num_frames(); ++t) {
+    OTIF_ASSIGN_OR_RETURN(Image frame, DecodeFrame(t, stats));
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace otif::video

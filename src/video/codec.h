@@ -1,0 +1,99 @@
+#ifndef OTIF_VIDEO_CODEC_H_
+#define OTIF_VIDEO_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "video/image.h"
+
+namespace otif::video {
+
+/// Parameters of the toy H264-like codec: I-frames plus motion-compensated
+/// P-frames over 16x16 blocks, with quantized residuals and run-length
+/// entropy coding. Lossy but bounded-error; deterministic.
+struct CodecConfig {
+  /// Every `gop_size`-th frame is an intra (I) frame; the frames between
+  /// depend on their predecessor, so seeking decodes from the nearest
+  /// preceding I-frame.
+  int gop_size = 16;
+  /// Motion block edge length in pixels.
+  int block_size = 16;
+  /// Quantization levels for intra pixels (error <= 0.5 / quant_levels).
+  int quant_levels = 64;
+  /// Motion search radius in pixels (full search, step 2 then refine).
+  int search_radius = 8;
+  /// Mean-abs-residual below which a predicted block is stored as skip.
+  float skip_threshold = 0.01f;
+};
+
+/// One encoded frame: its type and byte payload.
+struct EncodedFrame {
+  bool is_intra = false;
+  std::vector<uint8_t> payload;
+};
+
+/// Encoded clip: configuration + frame payloads.
+struct EncodedVideo {
+  CodecConfig config;
+  int width = 0;
+  int height = 0;
+  std::vector<EncodedFrame> frames;
+
+  /// Total compressed size in bytes.
+  size_t TotalBytes() const;
+};
+
+/// Counters accumulated by the decoder; the cost model converts these into
+/// simulated decode seconds.
+struct DecodeStats {
+  int64_t frames_decoded = 0;
+  int64_t intra_frames_decoded = 0;
+  int64_t pixels_decoded = 0;
+  int64_t blocks_motion_compensated = 0;
+  int64_t bytes_read = 0;
+
+  DecodeStats& operator+=(const DecodeStats& o);
+};
+
+/// Encodes a frame sequence. Frames must share dimensions divisible choices
+/// are handled internally (edge blocks are cropped).
+class Encoder {
+ public:
+  explicit Encoder(CodecConfig config);
+
+  /// Encodes `frames` into a clip. Returns InvalidArgument for empty input
+  /// or mismatched frame dimensions.
+  StatusOr<EncodedVideo> Encode(const std::vector<Image>& frames) const;
+
+ private:
+  CodecConfig config_;
+};
+
+/// Decodes frames from an EncodedVideo, maintaining reference state so that
+/// sequential decoding is O(1) per frame while random access decodes from
+/// the nearest preceding I-frame.
+class Decoder {
+ public:
+  explicit Decoder(const EncodedVideo* video);
+
+  int num_frames() const { return static_cast<int>(video_->frames.size()); }
+
+  /// Decodes frame `index`, decoding any needed reference frames first.
+  /// Accumulates work into `stats` when non-null.
+  StatusOr<Image> DecodeFrame(int index, DecodeStats* stats);
+
+  /// Decodes every frame in order.
+  StatusOr<std::vector<Image>> DecodeAll(DecodeStats* stats);
+
+ private:
+  Status DecodeInto(int index, DecodeStats* stats);
+
+  const EncodedVideo* video_;  // Not owned.
+  Image reference_;            // Last reconstructed frame.
+  int reference_index_ = -1;
+};
+
+}  // namespace otif::video
+
+#endif  // OTIF_VIDEO_CODEC_H_

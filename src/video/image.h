@@ -1,0 +1,71 @@
+#ifndef OTIF_VIDEO_IMAGE_H_
+#define OTIF_VIDEO_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace otif::video {
+
+/// Grayscale image with float pixels in [0, 1], row-major. All frames in the
+/// synthetic world are single-channel; the paper's models consume RGB but
+/// nothing in the evaluated pipeline depends on chroma.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {
+    OTIF_CHECK_GE(width, 0);
+    OTIF_CHECK_GE(height, 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+  size_t size() const { return pixels_.size(); }
+
+  float at(int x, int y) const {
+    OTIF_CHECK(InBounds(x, y)) << x << "," << y;
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, float v) {
+    OTIF_CHECK(InBounds(x, y)) << x << "," << y;
+    pixels_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  const float* data() const { return pixels_.data(); }
+  float* data() { return pixels_.data(); }
+  const float* row(int y) const {
+    return pixels_.data() + static_cast<size_t>(y) * width_;
+  }
+  float* row(int y) {
+    return pixels_.data() + static_cast<size_t>(y) * width_;
+  }
+
+  /// Clamps all pixels into [0, 1].
+  void Clamp();
+
+  /// Area-averaged downscale (or bilinear upscale) to the given size.
+  Image Resized(int new_width, int new_height) const;
+
+  /// Mean pixel value (0 for an empty image).
+  float Mean() const;
+
+  /// Mean absolute per-pixel difference against another image of identical
+  /// dimensions.
+  float MeanAbsDiff(const Image& other) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace otif::video
+
+#endif  // OTIF_VIDEO_IMAGE_H_

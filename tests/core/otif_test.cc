@@ -1,0 +1,139 @@
+#include "core/otif.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/workload.h"
+#include "query/queries.h"
+#include "track/metrics.h"
+
+namespace otif::core {
+namespace {
+
+// Small scale for test speed; one shared prepared instance.
+RunScale TestScale() {
+  RunScale scale;
+  scale.train_clips = 2;
+  scale.valid_clips = 2;
+  scale.test_clips = 2;
+  scale.clip_seconds = 12;
+  scale.proxy_train_steps = 300;
+  scale.tracker_train_steps = 700;
+  scale.proxy_resolutions = 2;
+  scale.window_sample_frames = 16;
+  return scale;
+}
+
+struct PreparedOtif {
+  std::unique_ptr<Otif> otif;
+  std::vector<sim::Clip> valid;
+  std::vector<sim::Clip> test;
+  AccuracyFn valid_fn;
+  AccuracyFn test_fn;
+};
+
+PreparedOtif* Shared() {
+  static PreparedOtif* shared = [] {
+    auto* p = new PreparedOtif;
+    eval::TrackWorkload workload =
+        eval::MakeTrackWorkload(sim::DatasetId::kSynthetic);
+    p->otif = std::make_unique<Otif>(workload.spec, TestScale());
+    p->valid = p->otif->ValidClips();
+    p->test = p->otif->TestClips();
+    p->valid_fn = workload.MakeAccuracyFn(&p->valid);
+    p->test_fn = workload.MakeAccuracyFn(&p->test);
+    Tuner::Options topts;
+    topts.max_iterations = 6;
+    p->otif->Prepare(p->valid_fn, topts);
+    return p;
+  }();
+  return shared;
+}
+
+TEST(OtifTest, ClipSplitsAreDisjointAndDeterministic) {
+  eval::TrackWorkload workload =
+      eval::MakeTrackWorkload(sim::DatasetId::kSynthetic);
+  Otif otif(workload.spec, TestScale());
+  const auto train = otif.TrainClips();
+  const auto valid = otif.ValidClips();
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(valid.size(), 2u);
+  EXPECT_NE(train[0].clip_seed(), valid[0].clip_seed());
+  const auto train_again = otif.TrainClips();
+  EXPECT_EQ(train[0].clip_seed(), train_again[0].clip_seed());
+  EXPECT_EQ(train[0].objects().size(), train_again[0].objects().size());
+}
+
+TEST(OtifTest, PrepareProducesCurveAndModels) {
+  PreparedOtif* p = Shared();
+  EXPECT_GT(p->otif->theta_best_accuracy(), 0.4);
+  EXPECT_EQ(p->otif->trained().proxies.size(), 2u);
+  EXPECT_NE(p->otif->trained().tracker_net, nullptr);
+  EXPECT_NE(p->otif->trained().refiner, nullptr);
+  EXPECT_GE(p->otif->trained().window_sizes.size(), 2u);
+  ASSERT_GE(p->otif->curve().size(), 3u);
+}
+
+TEST(OtifTest, CurveTradesSpeedForAccuracy) {
+  PreparedOtif* p = Shared();
+  const auto& curve = p->otif->curve();
+  // Later points must be faster than the first point.
+  EXPECT_LT(curve.back().val_seconds, curve.front().val_seconds * 0.7);
+  // The best point on the curve should be reasonably accurate.
+  double best_acc = 0.0;
+  for (const TunerPoint& tp : curve) {
+    best_acc = std::max(best_acc, tp.val_accuracy);
+  }
+  EXPECT_GT(best_acc, 0.5);
+}
+
+TEST(OtifTest, FastestWithinToleranceIsFasterThanBest) {
+  PreparedOtif* p = Shared();
+  const TunerPoint& pick = p->otif->FastestWithinTolerance(0.10);
+  double best_acc = 0.0;
+  for (const TunerPoint& tp : p->otif->curve()) {
+    best_acc = std::max(best_acc, tp.val_accuracy);
+  }
+  EXPECT_GE(pick.val_accuracy, best_acc - 0.10);
+  for (const TunerPoint& tp : p->otif->curve()) {
+    if (tp.val_accuracy >= best_acc - 0.10) {
+      EXPECT_LE(pick.val_seconds, tp.val_seconds);
+    }
+  }
+}
+
+TEST(OtifTest, ExecuteOnTestSetHoldsAccuracy) {
+  PreparedOtif* p = Shared();
+  const TunerPoint& pick = p->otif->FastestWithinTolerance(0.10);
+  EvalResult r = p->otif->Execute(pick.config, p->test, p->test_fn);
+  EXPECT_EQ(r.tracks_per_clip.size(), p->test.size());
+  EXPECT_GT(r.accuracy, 0.35) << "test accuracy collapsed vs validation "
+                              << pick.val_accuracy;
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(OtifTest, TunedConfigUsesSpeedups) {
+  // The fastest curve point must use at least one speedup mechanism
+  // (gap > 1, proxy, or reduced resolution).
+  PreparedOtif* p = Shared();
+  const auto& curve = p->otif->curve();
+  const PipelineConfig& last = curve.back().config;
+  EXPECT_TRUE(last.sampling_gap > 1 || last.use_proxy ||
+              last.detector_scale < 0.99);
+}
+
+TEST(OtifTest, TracksSupportDownstreamQueries) {
+  // End-to-end: extracted tracks answer a hard-braking query without
+  // touching video again (the paper's core workflow claim).
+  PreparedOtif* p = Shared();
+  const TunerPoint& pick = p->otif->FastestWithinTolerance(0.10);
+  EvalResult r = p->otif->Execute(pick.config, p->test, p->test_fn);
+  for (size_t c = 0; c < p->test.size(); ++c) {
+    const auto braking = query::FindHardBrakingTracks(
+        r.tracks_per_clip[c], p->test[c].spec(), 3.0);
+    // No crash and plausible cardinality.
+    EXPECT_LE(braking.size(), r.tracks_per_clip[c].size());
+  }
+}
+
+}  // namespace
+}  // namespace otif::core

@@ -1,0 +1,99 @@
+#include "core/window_select.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace otif::core {
+namespace {
+
+models::DetectorArch TestArch() {
+  models::DetectorArch arch;
+  arch.name = "test";
+  arch.sec_per_pixel = 1e-8;
+  arch.sec_per_invocation = 1e-4;
+  return arch;
+}
+
+CellGrid GridWithCells(int w, int h,
+                       const std::vector<std::pair<int, int>>& cells) {
+  CellGrid grid;
+  grid.grid_w = w;
+  grid.grid_h = h;
+  grid.positive.assign(static_cast<size_t>(w) * h, 0);
+  for (auto [x, y] : cells) grid.set(x, y, true);
+  return grid;
+}
+
+TEST(WindowSizeSelectorTest, AlwaysIncludesFullFrame) {
+  WindowSizeSelector selector(640, 360, WindowSizeSelector::Options{});
+  std::vector<CellGrid> grids = {GridWithCells(8, 8, {{1, 1}})};
+  const auto sizes = selector.Select(grids, TestArch());
+  ASSERT_FALSE(sizes.empty());
+  bool has_full = false;
+  for (const WindowSize& s : sizes) {
+    if (s.w >= 640 && s.h >= 360) has_full = true;
+  }
+  EXPECT_TRUE(has_full);
+  EXPECT_LE(sizes.size(), 3u);  // k = 3 default.
+}
+
+TEST(WindowSizeSelectorTest, AddsSmallSizeForSparseScenes) {
+  // Frames with one small object cluster: a small window size must join W
+  // and cut the objective versus full-frame-only.
+  WindowSizeSelector selector(640, 360, WindowSizeSelector::Options{});
+  Rng rng(3);
+  std::vector<CellGrid> grids;
+  for (int i = 0; i < 10; ++i) {
+    const int x = static_cast<int>(rng.UniformInt(uint64_t{7}));
+    const int y = static_cast<int>(rng.UniformInt(uint64_t{7}));
+    grids.push_back(GridWithCells(8, 8, {{x, y}}));
+  }
+  const auto sizes = selector.Select(grids, TestArch());
+  ASSERT_GE(sizes.size(), 2u);
+  const double with_selection =
+      selector.TotalEstSeconds(grids, sizes, TestArch());
+  const double full_only = selector.TotalEstSeconds(
+      grids, {WindowSize{640, 360}}, TestArch());
+  EXPECT_LT(with_selection, full_only * 0.5);
+}
+
+TEST(WindowSizeSelectorTest, KOneOnlyFullFrame) {
+  WindowSizeSelector::Options opts;
+  opts.k = 1;
+  WindowSizeSelector selector(640, 360, opts);
+  std::vector<CellGrid> grids = {GridWithCells(8, 8, {{1, 1}})};
+  const auto sizes = selector.Select(grids, TestArch());
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_GE(sizes[0].w, 640);
+}
+
+TEST(WindowSizeSelectorTest, MoreSizesNeverHurtObjective) {
+  // Property: the objective is monotone non-increasing in k (Fig 7 left
+  // ablation over k).
+  Rng rng(9);
+  std::vector<CellGrid> grids;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<std::pair<int, int>> cells;
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+    for (int c = 0; c < n; ++c) {
+      cells.push_back({static_cast<int>(rng.UniformInt(uint64_t{8})),
+                       static_cast<int>(rng.UniformInt(uint64_t{8}))});
+    }
+    grids.push_back(GridWithCells(8, 8, cells));
+  }
+  double prev = 1e18;
+  for (int k = 1; k <= 4; ++k) {
+    WindowSizeSelector::Options opts;
+    opts.k = k;
+    WindowSizeSelector selector(640, 360, opts);
+    const auto sizes = selector.Select(grids, TestArch());
+    const double objective =
+        selector.TotalEstSeconds(grids, sizes, TestArch());
+    EXPECT_LE(objective, prev + 1e-12) << "k=" << k;
+    prev = objective;
+  }
+}
+
+}  // namespace
+}  // namespace otif::core

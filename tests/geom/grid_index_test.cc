@@ -1,0 +1,96 @@
+#include "geom/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace otif::geom {
+namespace {
+
+TEST(GridIndexTest, EmptyQueries) {
+  GridIndex idx(10.0);
+  EXPECT_TRUE(idx.QueryRadius({0, 0}, 100).empty());
+  EXPECT_TRUE(idx.QueryNearest({0, 0}, 5).empty());
+  EXPECT_EQ(idx.num_points(), 0u);
+}
+
+TEST(GridIndexTest, RadiusQueryFindsInsideOnly) {
+  GridIndex idx(10.0);
+  idx.Insert({0, 0}, 1);
+  idx.Insert({5, 0}, 2);
+  idx.Insert({50, 50}, 3);
+  std::vector<int64_t> found = idx.QueryRadius({0, 0}, 10.0);
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(GridIndexTest, RadiusQueryDeduplicatesIds) {
+  GridIndex idx(10.0);
+  // Same id inserted at several sample points, as done for cluster centers.
+  idx.Insert({0, 0}, 7);
+  idx.Insert({1, 1}, 7);
+  idx.Insert({2, 2}, 7);
+  EXPECT_EQ(idx.QueryRadius({0, 0}, 5.0).size(), 1u);
+}
+
+TEST(GridIndexTest, NearestExpandsUntilEnough) {
+  GridIndex idx(1.0);
+  idx.Insert({0, 0}, 1);
+  idx.Insert({100, 0}, 2);
+  idx.Insert({200, 0}, 3);
+  std::vector<int64_t> found = idx.QueryNearest({0, 0}, 2);
+  ASSERT_GE(found.size(), 2u);
+  EXPECT_EQ(found[0], 1);
+  EXPECT_EQ(found[1], 2);
+}
+
+TEST(GridIndexTest, NearestOrdersByDistance) {
+  GridIndex idx(5.0);
+  idx.Insert({10, 0}, 10);
+  idx.Insert({3, 0}, 3);
+  idx.Insert({7, 0}, 7);
+  std::vector<int64_t> found = idx.QueryNearest({0, 0}, 3);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0], 3);
+  EXPECT_EQ(found[1], 7);
+  EXPECT_EQ(found[2], 10);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex idx(4.0);
+  idx.Insert({-13, -7}, 1);
+  EXPECT_EQ(idx.QueryRadius({-13, -7}, 1.0).size(), 1u);
+  EXPECT_TRUE(idx.QueryRadius({13, 7}, 1.0).empty());
+}
+
+// Property test: the grid index returns exactly the brute-force result for
+// random point sets and random radius queries.
+TEST(GridIndexPropertyTest, MatchesBruteForce) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    GridIndex idx(rng.Uniform(2.0, 30.0));
+    std::vector<Point> pts;
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{200}));
+    for (int i = 0; i < n; ++i) {
+      Point p(rng.Uniform(-100, 100), rng.Uniform(-100, 100));
+      pts.push_back(p);
+      idx.Insert(p, i);
+    }
+    for (int q = 0; q < 10; ++q) {
+      const Point center(rng.Uniform(-120, 120), rng.Uniform(-120, 120));
+      const double radius = rng.Uniform(0.0, 60.0);
+      std::vector<int64_t> got = idx.QueryRadius(center, radius);
+      std::sort(got.begin(), got.end());
+      std::vector<int64_t> want;
+      for (int i = 0; i < n; ++i) {
+        if (pts[i].DistanceTo(center) <= radius) want.push_back(i);
+      }
+      EXPECT_EQ(got, want) << "trial=" << trial << " query=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otif::geom

@@ -1,0 +1,50 @@
+#include "models/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+#include "sim/raster.h"
+#include "sim/world.h"
+
+namespace otif::models {
+namespace {
+
+TEST(EmbeddingTest, DimensionAndDeterminism) {
+  video::Image frame(64, 48, 0.5f);
+  FrameEmbedding a = EmbedFrame(frame);
+  FrameEmbedding b = EmbedFrame(frame);
+  EXPECT_EQ(a.values.size(), static_cast<size_t>(kEmbeddingDim));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 0.0);
+}
+
+TEST(EmbeddingTest, DistanceSeparatesDifferentContent) {
+  video::Image flat(64, 48, 0.5f);
+  video::Image busy(64, 48, 0.5f);
+  for (int y = 10; y < 20; ++y) {
+    for (int x = 10; x < 30; ++x) busy.set(x, y, 1.0f);
+  }
+  FrameEmbedding fa = EmbedFrame(flat);
+  FrameEmbedding fb = EmbedFrame(busy);
+  EXPECT_GT(fa.DistanceTo(fb), 0.1);
+}
+
+TEST(EmbeddingTest, SimilarFramesAreCloserThanDissimilar) {
+  sim::Clip clip = sim::SimulateClip(
+      sim::MakeDataset(sim::DatasetId::kSynthetic), 21, 300);
+  sim::Rasterizer raster(&clip);
+  video::Image f0 = raster.Render(0, 80, 60);
+  video::Image f1 = raster.Render(1, 80, 60);
+  video::Image f150 = raster.Render(150, 80, 60);
+  FrameEmbedding e0 = EmbedFrame(f0);
+  // Adjacent frames nearly identical; distant frames differ more.
+  EXPECT_LT(e0.DistanceTo(EmbedFrame(f1)) * 1.5,
+            e0.DistanceTo(EmbedFrame(f150)) + 0.5);
+}
+
+TEST(EmbeddingTest, CostIsPositiveAndSubDetector) {
+  EXPECT_GT(EmbeddingSecondsPerFrame(), 0.0);
+  EXPECT_LT(EmbeddingSecondsPerFrame(), 0.01);
+}
+
+}  // namespace
+}  // namespace otif::models

@@ -1,0 +1,177 @@
+#include "models/tracker_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace otif::models {
+namespace {
+
+track::Detection MakeDet(int frame, double cx, double cy, double w = 30,
+                         double h = 20) {
+  track::Detection d;
+  d.frame = frame;
+  d.box = geom::BBox(cx, cy, w, h);
+  return d;
+}
+
+TEST(TrackerNetTest, DetFeatureLayout) {
+  track::Detection d = MakeDet(10, 320, 180, 64, 36);
+  nn::Tensor f = TrackerNet::DetFeature(d, 5, 10.0, 640, 360, 0.4, 0.1);
+  ASSERT_EQ(f.size(), TrackerNet::kDetFeatureDim);
+  EXPECT_FLOAT_EQ(f[0], 0.5f);
+  EXPECT_FLOAT_EQ(f[1], 0.5f);
+  EXPECT_FLOAT_EQ(f[2], 0.1f);
+  EXPECT_FLOAT_EQ(f[3], 0.1f);
+  EXPECT_FLOAT_EQ(f[4], 0.125f);  // 0.5 s / 4 s cap.
+  EXPECT_FLOAT_EQ(f[5], 0.4f);
+  EXPECT_FLOAT_EQ(f[6], 0.1f);
+}
+
+TEST(TrackerNetTest, PairFeatureDetectsMotionDirection) {
+  track::Detection last = MakeDet(0, 100, 100);
+  track::Detection right = MakeDet(10, 200, 100);
+  track::Detection left = MakeDet(10, 0, 100);
+  nn::Tensor fr = TrackerNet::PairFeature(last, last, right, 10.0, 640, 360);
+  nn::Tensor fl = TrackerNet::PairFeature(last, last, left, 10.0, 640, 360);
+  EXPECT_GT(fr[0], 0.0f);
+  EXPECT_LT(fl[0], 0.0f);
+}
+
+TEST(TrackerNetTest, PairFeatureIouAndElapsed) {
+  track::Detection last = MakeDet(0, 100, 100, 40, 30);
+  track::Detection same = MakeDet(5, 100, 100, 40, 30);
+  nn::Tensor f = TrackerNet::PairFeature(last, last, same, 10.0, 640, 360);
+  EXPECT_FLOAT_EQ(f[2], 1.0f);   // Perfect IoU.
+  EXPECT_FLOAT_EQ(f[3], 0.0f);   // Same size.
+  EXPECT_FLOAT_EQ(f[4], 0.125f); // 0.5 s / 4.
+}
+
+TEST(TrackerNetTest, AdvanceChangesHidden) {
+  TrackerNet net(1);
+  nn::Tensor h0 = net.InitialHidden();
+  track::Detection d = MakeDet(0, 100, 100);
+  nn::Tensor f = TrackerNet::DetFeature(d, 1, 10.0, 640, 360, 0.5, 0.1);
+  nn::Tensor h1 = net.Advance(h0, f);
+  EXPECT_EQ(h1.size(), net.hidden_size());
+  double diff = 0.0;
+  for (int64_t i = 0; i < h1.size(); ++i) diff += std::abs(h1[i] - h0[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(TrackerNetTest, ScorePairInUnitInterval) {
+  TrackerNet net(2);
+  nn::Tensor h = net.InitialHidden();
+  track::Detection a = MakeDet(0, 100, 100);
+  track::Detection b = MakeDet(4, 120, 100);
+  nn::Tensor fa = TrackerNet::DetFeature(a, 1, 10.0, 640, 360, 0.5, 0.1);
+  h = net.Advance(h, fa);
+  nn::Tensor fb = TrackerNet::DetFeature(b, 4, 10.0, 640, 360, 0.5, 0.1);
+  nn::Tensor pair = TrackerNet::PairFeature(a, a, b, 10.0, 640, 360);
+  const double p = net.ScorePair(h, fb, pair);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+// Synthesizes linear-motion tracks and trains the net to pick the true
+// continuation against decoys; checks it learns motion consistency.
+TEST(TrackerNetTest, LearnsMotionConsistentMatching) {
+  TrackerNet net(3);
+  Rng rng(42);
+  const double fw = 640, fh = 360, fps = 10.0;
+
+  auto make_example = [&](int gap) {
+    // A track moving with constant velocity; candidates: the true next
+    // detection plus two decoys (one static, one moving the wrong way).
+    const double vx = rng.Uniform(-30, 30);
+    const double vy = rng.Uniform(-20, 20);
+    double cx = rng.Uniform(100, 540), cy = rng.Uniform(80, 280);
+    TrackerNet::Example ex;
+    track::Detection last;
+    int frame = 0;
+    const int prefix_len = 3;
+    for (int i = 0; i < prefix_len; ++i) {
+      track::Detection d = MakeDet(frame, cx, cy);
+      ex.prefix_features.push_back(TrackerNet::DetFeature(
+          d, i == 0 ? gap : gap, fps, fw, fh, 0.5, 0.1));
+      last = d;
+      cx += vx * gap / fps * fps / 10.0;  // vx is px per frame * 10.
+      cy += vy * gap / fps * fps / 10.0;
+      frame += gap;
+    }
+    // True continuation follows the motion; decoys do not.
+    track::Detection truth = MakeDet(frame, cx, cy);
+    track::Detection decoy1 = MakeDet(frame, cx - vx * 3, cy - vy * 3);
+    track::Detection decoy2 =
+        MakeDet(frame, rng.Uniform(50, 590), rng.Uniform(50, 310));
+    std::vector<track::Detection> cands = {decoy1, truth, decoy2};
+    ex.positive_index = 1;
+    for (const auto& c : cands) {
+      ex.candidate_features.push_back(
+          TrackerNet::DetFeature(c, gap, fps, fw, fh, 0.5, 0.1));
+      ex.candidate_pair_features.push_back(
+          TrackerNet::PairFeature(last, last, c, fps, fw, fh));
+    }
+    return ex;
+  };
+
+  double loss = 1.0;
+  for (int step = 0; step < 800; ++step) {
+    const int gap = 1 << rng.UniformInt(uint64_t{4});  // 1, 2, 4, 8.
+    loss = net.TrainStep(make_example(gap));
+  }
+  EXPECT_LT(loss, 0.6);
+
+  // Evaluation: the true candidate must outscore decoys most of the time.
+  int correct = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const int gap = 1 << rng.UniformInt(uint64_t{4});
+    TrackerNet::Example ex = make_example(gap);
+    nn::Tensor h = net.InitialHidden();
+    for (const auto& f : ex.prefix_features) h = net.Advance(h, f);
+    int best = -1;
+    double best_score = -1;
+    for (size_t c = 0; c < ex.candidate_features.size(); ++c) {
+      const double s = net.ScorePair(h, ex.candidate_features[c],
+                                     ex.candidate_pair_features[c]);
+      if (s > best_score) {
+        best_score = s;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best == ex.positive_index) ++correct;
+  }
+  EXPECT_GT(correct, trials * 2 / 3)
+      << "trained tracker picks the true continuation only " << correct
+      << "/" << trials;
+}
+
+TEST(TrackerNetTest, TrainStepHandlesNoCandidates) {
+  TrackerNet net(4);
+  TrackerNet::Example ex;
+  ex.prefix_features.push_back(TrackerNet::DetFeature(
+      MakeDet(0, 100, 100), 1, 10.0, 640, 360, 0.5, 0.1));
+  EXPECT_DOUBLE_EQ(net.TrainStep(ex), 0.0);
+}
+
+TEST(TrackerNetTest, TrainStepAllNegatives) {
+  TrackerNet net(5);
+  TrackerNet::Example ex;
+  track::Detection a = MakeDet(0, 100, 100);
+  ex.prefix_features.push_back(
+      TrackerNet::DetFeature(a, 1, 10.0, 640, 360, 0.5, 0.1));
+  track::Detection far = MakeDet(4, 600, 300);
+  ex.candidate_features.push_back(
+      TrackerNet::DetFeature(far, 4, 10.0, 640, 360, 0.5, 0.1));
+  ex.candidate_pair_features.push_back(
+      TrackerNet::PairFeature(a, a, far, 10.0, 640, 360));
+  ex.positive_index = -1;
+  const double loss = net.TrainStep(ex);
+  EXPECT_GE(loss, 0.0);
+}
+
+}  // namespace
+}  // namespace otif::models

@@ -1,0 +1,120 @@
+#include "track/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace otif::track {
+namespace {
+
+double TotalCost(const std::vector<std::vector<double>>& cost,
+                 const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t r = 0; r < assignment.size(); ++r) {
+    if (assignment[r] >= 0) {
+      total += cost[r][static_cast<size_t>(assignment[r])];
+    }
+  }
+  return total;
+}
+
+TEST(SolveAssignmentTest, EmptyInputs) {
+  EXPECT_TRUE(SolveAssignment({}).empty());
+  std::vector<std::vector<double>> no_cols = {{}, {}};
+  const auto result = SolveAssignment(no_cols);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], -1);
+  EXPECT_EQ(result[1], -1);
+}
+
+TEST(SolveAssignmentTest, IdentityIsOptimal) {
+  std::vector<std::vector<double>> cost = {
+      {0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}, {1.0, 1.0, 0.0}};
+  const auto result = SolveAssignment(cost);
+  EXPECT_EQ(result, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SolveAssignmentTest, AntiDiagonal) {
+  std::vector<std::vector<double>> cost = {
+      {5.0, 1.0}, {1.0, 5.0}};
+  const auto result = SolveAssignment(cost);
+  EXPECT_EQ(result, (std::vector<int>{1, 0}));
+}
+
+TEST(SolveAssignmentTest, ClassicExample) {
+  // Known optimum: total cost 5 (a->2, b->1, c->0 style).
+  std::vector<std::vector<double>> cost = {
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  const auto result = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(TotalCost(cost, result), 5.0);
+}
+
+TEST(SolveAssignmentTest, RectangularMoreRows) {
+  std::vector<std::vector<double>> cost = {{1.0}, {0.1}, {2.0}};
+  const auto result = SolveAssignment(cost);
+  ASSERT_EQ(result.size(), 3u);
+  int assigned = 0;
+  for (int c : result) {
+    if (c >= 0) ++assigned;
+  }
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(result[1], 0);  // Cheapest row gets the only column.
+}
+
+TEST(SolveAssignmentTest, RectangularMoreCols) {
+  std::vector<std::vector<double>> cost = {{3.0, 0.5, 2.0}};
+  const auto result = SolveAssignment(cost);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1);
+}
+
+// Property test: on random square instances, the Hungarian result is never
+// worse than 2000 random permutations.
+TEST(SolveAssignmentPropertyTest, BeatsRandomPermutations) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+    for (auto& row : cost) {
+      for (double& c : row) c = rng.Uniform(0, 10);
+    }
+    const auto result = SolveAssignment(cost);
+    const double optimal = TotalCost(cost, result);
+    std::vector<int> perm(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    for (int s = 0; s < 2000; ++s) {
+      for (int i = n - 1; i > 0; --i) {
+        std::swap(perm[static_cast<size_t>(i)],
+                  perm[rng.UniformInt(static_cast<uint64_t>(i + 1))]);
+      }
+      EXPECT_LE(optimal, TotalCost(cost, perm) + 1e-9);
+    }
+  }
+}
+
+TEST(GreedyAssignmentTest, RespectsMaxCost) {
+  std::vector<std::vector<double>> cost = {{0.9, 0.2}, {0.3, 0.95}};
+  const auto result = GreedyAssignment(cost, 0.5);
+  EXPECT_EQ(result, (std::vector<int>{1, 0}));
+  const auto strict = GreedyAssignment(cost, 0.25);
+  EXPECT_EQ(strict, (std::vector<int>{1, -1}));
+}
+
+TEST(GreedyAssignmentTest, NoDoubleAssignment) {
+  // Row 1 would prefer column 0, but row 0 claims it first (lower cost);
+  // row 1 falls back to the expensive column 1 which is above max_cost.
+  std::vector<std::vector<double>> cost = {{0.1, 0.2}, {0.15, 0.9}};
+  const auto result = GreedyAssignment(cost, 0.5);
+  EXPECT_EQ(result[0], 0);
+  EXPECT_EQ(result[1], -1);
+}
+
+TEST(GreedyAssignmentTest, SecondRowTakesRemainingColumn) {
+  std::vector<std::vector<double>> cost = {{0.1, 0.2}, {0.15, 0.5}};
+  const auto result = GreedyAssignment(cost, 1.0);
+  EXPECT_EQ(result, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace otif::track

@@ -1,0 +1,170 @@
+#include "track/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace otif::track {
+namespace {
+
+// Builds a track along a straight line between two points, `n` detections,
+// frames spaced by `gap`.
+Track LineTrack(int64_t id, geom::Point from, geom::Point to, int n, int gap,
+                int start_frame = 0) {
+  Track t;
+  t.id = id;
+  for (int i = 0; i < n; ++i) {
+    const double u = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    Detection d;
+    d.frame = start_frame + i * gap;
+    d.box = geom::BBox(from.x + u * (to.x - from.x),
+                       from.y + u * (to.y - from.y), 30, 20);
+    t.detections.push_back(d);
+  }
+  return t;
+}
+
+TEST(ClusterTracksTest, GroupsParallelTracks) {
+  std::vector<Track> tracks;
+  Rng rng(3);
+  // 10 tracks along roughly the same path, 10 along another.
+  for (int i = 0; i < 10; ++i) {
+    const double off = rng.Uniform(-8, 8);
+    tracks.push_back(
+        LineTrack(i, {0, 100 + off}, {500, 110 + off}, 20, 1));
+    tracks.push_back(
+        LineTrack(100 + i, {250 + off, 0}, {260 + off, 400}, 20, 1));
+  }
+  DbscanOptions opts;
+  opts.epsilon = 30.0;
+  const auto clusters = ClusterTracks(tracks, opts);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size + clusters[1].size, 20);
+}
+
+TEST(ClusterTracksTest, OppositeDirectionsSeparate) {
+  std::vector<Track> tracks;
+  for (int i = 0; i < 5; ++i) {
+    tracks.push_back(LineTrack(i, {0, 100}, {500, 100}, 20, 1));
+    tracks.push_back(LineTrack(10 + i, {500, 100}, {0, 100}, 20, 1));
+  }
+  DbscanOptions opts;
+  opts.epsilon = 40.0;
+  const auto clusters = ClusterTracks(tracks, opts);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(ClusterTracksTest, NoiseBecomesSingletonCluster) {
+  std::vector<Track> tracks;
+  for (int i = 0; i < 4; ++i) {
+    tracks.push_back(LineTrack(i, {0, 100}, {500, 100}, 20, 1));
+  }
+  // One odd track far away from everything.
+  tracks.push_back(LineTrack(99, {0, 400}, {100, 350}, 20, 1));
+  DbscanOptions opts;
+  opts.epsilon = 25.0;
+  const auto clusters = ClusterTracks(tracks, opts);
+  ASSERT_EQ(clusters.size(), 2u);
+  // One cluster of 4, one singleton.
+  const int sizes[2] = {clusters[0].size, clusters[1].size};
+  EXPECT_EQ(std::max(sizes[0], sizes[1]), 4);
+  EXPECT_EQ(std::min(sizes[0], sizes[1]), 1);
+}
+
+TEST(ClusterTracksTest, EmptyInput) {
+  EXPECT_TRUE(ClusterTracks({}, DbscanOptions{}).empty());
+}
+
+TEST(TrackRefinerTest, ExtendsTruncatedTrackToClusterEndpoints) {
+  // Training-set tracks span the full path (0..500); the captured track, at
+  // a high sampling gap, only covers the middle (150..350). Refinement must
+  // extend it toward the cluster's start and end.
+  std::vector<Track> training;
+  for (int i = 0; i < 8; ++i) {
+    training.push_back(LineTrack(i, {0, 100}, {500, 100}, 30, 1));
+  }
+  const auto clusters = ClusterTracks(training, DbscanOptions{});
+  TrackRefiner refiner(clusters, TrackRefiner::Options{});
+
+  Track captured = LineTrack(42, {150, 100}, {350, 100}, 4, 16, 100);
+  Track refined = refiner.Refine(captured);
+  ASSERT_EQ(refined.detections.size(), captured.detections.size() + 2);
+  EXPECT_NEAR(refined.detections.front().box.cx, 0.0, 30.0);
+  EXPECT_NEAR(refined.detections.back().box.cx, 500.0, 30.0);
+  // Synthetic endpoints must be time-extrapolated outward.
+  EXPECT_LT(refined.detections.front().frame, captured.detections.front().frame);
+  EXPECT_GT(refined.detections.back().frame, captured.detections.back().frame);
+}
+
+TEST(TrackRefinerTest, RefinesAgainstDirectionMatchedCluster) {
+  // Right-to-left training tracks; a truncated right-to-left capture must
+  // extend toward x=500 at its start and x=0 at its end.
+  std::vector<Track> training;
+  for (int i = 0; i < 8; ++i) {
+    training.push_back(LineTrack(i, {500, 100}, {0, 100}, 30, 1));
+  }
+  TrackRefiner refiner(ClusterTracks(training, DbscanOptions{}),
+                       TrackRefiner::Options{});
+  Track captured = LineTrack(7, {350, 100}, {150, 100}, 4, 16, 50);
+  Track refined = refiner.Refine(captured);
+  EXPECT_NEAR(refined.detections.front().box.cx, 500.0, 30.0);
+  EXPECT_NEAR(refined.detections.back().box.cx, 0.0, 30.0);
+}
+
+TEST(TrackRefinerTest, OppositeDirectionClusterIsNotUsed) {
+  // The paper's track distance metric is directional: a right-to-left
+  // capture must NOT be refined by a left-to-right cluster (they represent
+  // different movements, e.g. northbound vs southbound lanes).
+  std::vector<Track> training;
+  for (int i = 0; i < 8; ++i) {
+    training.push_back(LineTrack(i, {0, 100}, {500, 100}, 30, 1));
+  }
+  TrackRefiner::Options opts;
+  opts.max_cluster_distance = 120.0;
+  TrackRefiner refiner(ClusterTracks(training, DbscanOptions{}), opts);
+  Track captured = LineTrack(7, {350, 100}, {150, 100}, 4, 16, 50);
+  Track refined = refiner.Refine(captured);
+  EXPECT_EQ(refined.detections.size(), captured.detections.size());
+}
+
+TEST(TrackRefinerTest, LeavesUnmatchedTracksAlone) {
+  std::vector<Track> training = {LineTrack(0, {0, 0}, {100, 0}, 20, 1),
+                                 LineTrack(1, {0, 0}, {100, 0}, 20, 1)};
+  TrackRefiner::Options opts;
+  opts.max_cluster_distance = 50.0;
+  TrackRefiner refiner(ClusterTracks(training, DbscanOptions{}), opts);
+  // Far away from any cluster.
+  Track odd = LineTrack(5, {400, 400}, {450, 480}, 5, 4);
+  Track refined = refiner.Refine(odd);
+  EXPECT_EQ(refined.detections.size(), odd.detections.size());
+}
+
+TEST(TrackRefinerTest, ShortTracksPassThrough) {
+  TrackRefiner refiner({}, TrackRefiner::Options{});
+  Track single;
+  single.id = 1;
+  Detection d;
+  d.frame = 3;
+  d.box = geom::BBox(10, 10, 5, 5);
+  single.detections.push_back(d);
+  EXPECT_EQ(refiner.Refine(single).detections.size(), 1u);
+}
+
+TEST(TrackRefinerTest, WeightedMedianFavorsLargeClusters) {
+  // Two clusters near the captured track's endpoints: a large one ending at
+  // x=500 and a tiny one ending at x=700. The weighted median must follow
+  // the large cluster.
+  std::vector<Track> training;
+  for (int i = 0; i < 9; ++i) {
+    training.push_back(LineTrack(i, {0, 100}, {500, 100}, 30, 1));
+  }
+  training.push_back(LineTrack(50, {0, 130}, {700, 130}, 30, 1));
+  TrackRefiner refiner(ClusterTracks(training, DbscanOptions{}),
+                       TrackRefiner::Options{});
+  Track captured = LineTrack(42, {150, 105}, {350, 105}, 4, 16, 100);
+  Track refined = refiner.Refine(captured);
+  EXPECT_NEAR(refined.detections.back().box.cx, 500.0, 40.0);
+}
+
+}  // namespace
+}  // namespace otif::track

@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace otif {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogLevel prev = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(prev);
+}
+
+TEST(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
+  const LogLevel prev = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  OTIF_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogThreshold(prev);
+}
+
+TEST(CheckTest, PassingCheckIsNoop) {
+  OTIF_CHECK(true) << "never shown";
+  OTIF_CHECK_EQ(1, 1);
+  OTIF_CHECK_LT(1, 2);
+  OTIF_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(OTIF_CHECK(false) << "bad", "Check failed");
+  EXPECT_DEATH(OTIF_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(OTIF_CHECK_OK(Status::Internal("kaput")), "kaput");
+}
+
+TEST(CheckTest, CheckOkPassesOnOk) { OTIF_CHECK_OK(Status::OK()); }
+
+}  // namespace
+}  // namespace otif

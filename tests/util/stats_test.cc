@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace otif {
+namespace {
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(StatsTest, StdDevBasic) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(StdDev({1, 3}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, WeightedMedianSkewsTowardWeight) {
+  // Value 10 carries most of the weight.
+  EXPECT_DOUBLE_EQ(WeightedMedian({1, 10, 100}, {1, 10, 1}), 10.0);
+  // Uniform weights behave like a lower median.
+  EXPECT_DOUBLE_EQ(WeightedMedian({1, 2, 3}, {1, 1, 1}), 2.0);
+  // Heavy first element dominates.
+  EXPECT_DOUBLE_EQ(WeightedMedian({5, 9}, {10, 1}), 5.0);
+}
+
+}  // namespace
+}  // namespace otif

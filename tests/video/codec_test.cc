@@ -1,0 +1,216 @@
+#include "video/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace otif::video {
+namespace {
+
+// Builds a synthetic sequence: smooth background with a bright square moving
+// one pixel per frame.
+std::vector<Image> MovingSquareClip(int num_frames, int width, int height) {
+  std::vector<Image> frames;
+  for (int t = 0; t < num_frames; ++t) {
+    Image img(width, height);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        img.set(x, y, 0.2f + 0.2f * static_cast<float>(y) / height);
+      }
+    }
+    const int sx = 4 + t;
+    for (int y = 10; y < 18 && y < height; ++y) {
+      for (int x = sx; x < sx + 8 && x < width; ++x) {
+        if (x >= 0) img.set(x, y, 0.9f);
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  return frames;
+}
+
+TEST(CodecTest, EncodeRejectsEmptyInput) {
+  Encoder encoder(CodecConfig{});
+  EXPECT_FALSE(encoder.Encode({}).ok());
+}
+
+TEST(CodecTest, EncodeRejectsMismatchedDimensions) {
+  Encoder encoder(CodecConfig{});
+  std::vector<Image> frames;
+  frames.emplace_back(16, 16);
+  frames.emplace_back(16, 8);
+  EXPECT_FALSE(encoder.Encode(frames).ok());
+}
+
+TEST(CodecTest, RoundTripBoundedError) {
+  const auto frames = MovingSquareClip(20, 64, 48);
+  CodecConfig config;
+  Encoder encoder(config);
+  auto encoded = encoder.Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  auto decoded = decoder.DecodeAll(nullptr);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), frames.size());
+  for (size_t t = 0; t < frames.size(); ++t) {
+    // Quantization error per pixel is bounded; mean error must be small.
+    EXPECT_LT(frames[t].MeanAbsDiff((*decoded)[t]), 0.03f) << "frame " << t;
+  }
+}
+
+TEST(CodecTest, IntraFramePlacement) {
+  const auto frames = MovingSquareClip(33, 32, 32);
+  CodecConfig config;
+  config.gop_size = 8;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  for (size_t t = 0; t < encoded->frames.size(); ++t) {
+    EXPECT_EQ(encoded->frames[t].is_intra, t % 8 == 0) << "frame " << t;
+  }
+}
+
+TEST(CodecTest, CompressionBeatsRawOnSmoothVideo) {
+  const auto frames = MovingSquareClip(32, 64, 48);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  const size_t raw_bytes = frames.size() * 64 * 48;  // 1 byte per pixel.
+  EXPECT_LT(encoded->TotalBytes(), raw_bytes / 2)
+      << "compressed=" << encoded->TotalBytes() << " raw=" << raw_bytes;
+}
+
+TEST(CodecTest, PFramesSmallerThanIFrames) {
+  const auto frames = MovingSquareClip(16, 64, 48);
+  CodecConfig config;
+  config.gop_size = 16;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  const size_t intra_bytes = encoded->frames[0].payload.size();
+  for (size_t t = 1; t < encoded->frames.size(); ++t) {
+    EXPECT_LT(encoded->frames[t].payload.size(), intra_bytes)
+        << "frame " << t;
+  }
+}
+
+TEST(CodecTest, SequentialDecodeCountsEachFrameOnce) {
+  const auto frames = MovingSquareClip(20, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  DecodeStats stats;
+  ASSERT_TRUE(decoder.DecodeAll(&stats).ok());
+  EXPECT_EQ(stats.frames_decoded, 20);
+  EXPECT_EQ(stats.pixels_decoded, 20 * 32 * 32);
+}
+
+TEST(CodecTest, RandomAccessDecodesFromNearestIFrame) {
+  const auto frames = MovingSquareClip(33, 32, 32);
+  CodecConfig config;
+  config.gop_size = 8;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  DecodeStats stats;
+  // Frame 11: I-frame at 8, so frames 8..11 decode = 4 frames.
+  ASSERT_TRUE(decoder.DecodeFrame(11, &stats).ok());
+  EXPECT_EQ(stats.frames_decoded, 4);
+  EXPECT_EQ(stats.intra_frames_decoded, 1);
+}
+
+TEST(CodecTest, ForwardSeekContinuesFromReference) {
+  const auto frames = MovingSquareClip(33, 32, 32);
+  CodecConfig config;
+  config.gop_size = 32;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  DecodeStats stats;
+  ASSERT_TRUE(decoder.DecodeFrame(5, &stats).ok());
+  const int64_t after_first = stats.frames_decoded;
+  // Moving forward by 3 should decode exactly 3 more frames (no I restart
+  // because the GOP is long).
+  ASSERT_TRUE(decoder.DecodeFrame(8, &stats).ok());
+  EXPECT_EQ(stats.frames_decoded, after_first + 3);
+}
+
+TEST(CodecTest, ForwardSeekPrefersNearbyIFrame) {
+  const auto frames = MovingSquareClip(33, 32, 32);
+  CodecConfig config;
+  config.gop_size = 8;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  DecodeStats stats;
+  ASSERT_TRUE(decoder.DecodeFrame(0, &stats).ok());
+  stats = DecodeStats{};
+  // Frame 25 is far ahead; the decoder should restart at I-frame 24 rather
+  // than decode 25 consecutive frames.
+  ASSERT_TRUE(decoder.DecodeFrame(25, &stats).ok());
+  EXPECT_EQ(stats.frames_decoded, 2);
+}
+
+TEST(CodecTest, RepeatDecodeIsFree) {
+  const auto frames = MovingSquareClip(4, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  DecodeStats stats;
+  ASSERT_TRUE(decoder.DecodeFrame(2, &stats).ok());
+  const int64_t once = stats.frames_decoded;
+  ASSERT_TRUE(decoder.DecodeFrame(2, &stats).ok());
+  EXPECT_EQ(stats.frames_decoded, once);
+}
+
+TEST(CodecTest, DecodeFrameOutOfRange) {
+  const auto frames = MovingSquareClip(4, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  EXPECT_FALSE(decoder.DecodeFrame(4, nullptr).ok());
+  EXPECT_FALSE(decoder.DecodeFrame(-1, nullptr).ok());
+}
+
+TEST(CodecTest, BackwardSeekWorks) {
+  const auto frames = MovingSquareClip(20, 32, 32);
+  CodecConfig config;
+  config.gop_size = 8;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  ASSERT_TRUE(decoder.DecodeFrame(15, nullptr).ok());
+  auto img = decoder.DecodeFrame(3, nullptr);
+  ASSERT_TRUE(img.ok());
+  EXPECT_LT(frames[3].MeanAbsDiff(*img), 0.03f);
+}
+
+// Property test: random noise frames still round-trip within quantization
+// error, and decode is deterministic.
+TEST(CodecPropertyTest, NoiseRoundTripAndDeterminism) {
+  Rng rng(99);
+  std::vector<Image> frames;
+  for (int t = 0; t < 6; ++t) {
+    Image img(40, 24);
+    for (int y = 0; y < 24; ++y) {
+      for (int x = 0; x < 40; ++x) {
+        img.set(x, y, static_cast<float>(rng.NextDouble()));
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder d1(&encoded.value());
+  Decoder d2(&encoded.value());
+  auto out1 = d1.DecodeAll(nullptr);
+  auto out2 = d2.DecodeAll(nullptr);
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out2.ok());
+  for (size_t t = 0; t < frames.size(); ++t) {
+    EXPECT_LT(frames[t].MeanAbsDiff((*out1)[t]), 0.05f);
+    EXPECT_FLOAT_EQ((*out1)[t].MeanAbsDiff((*out2)[t]), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace otif::video

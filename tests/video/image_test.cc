@@ -1,0 +1,91 @@
+#include "video/image.h"
+
+#include <gtest/gtest.h>
+
+namespace otif::video {
+namespace {
+
+TEST(ImageTest, ConstructionAndAccess) {
+  Image img(4, 3, 0.5f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_FLOAT_EQ(img.at(2, 1), 0.5f);
+  img.set(2, 1, 0.9f);
+  EXPECT_FLOAT_EQ(img.at(2, 1), 0.9f);
+  EXPECT_FLOAT_EQ(img.row(1)[2], 0.9f);
+}
+
+TEST(ImageTest, EmptyImage) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_FLOAT_EQ(img.Mean(), 0.0f);
+}
+
+TEST(ImageDeathTest, OutOfBoundsAborts) {
+  Image img(2, 2);
+  EXPECT_DEATH(img.at(2, 0), "Check failed");
+  EXPECT_DEATH(img.at(0, -1), "Check failed");
+}
+
+TEST(ImageTest, ClampBoundsPixels) {
+  Image img(2, 1);
+  img.set(0, 0, -0.5f);
+  img.set(1, 0, 1.5f);
+  img.Clamp();
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(1, 0), 1.0f);
+}
+
+TEST(ImageTest, MeanBasic) {
+  Image img(2, 2);
+  img.set(0, 0, 1.0f);
+  EXPECT_FLOAT_EQ(img.Mean(), 0.25f);
+}
+
+TEST(ImageTest, DownscalePreservesMean) {
+  Image img(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      img.set(x, y, (x + y) % 2 == 0 ? 1.0f : 0.0f);
+    }
+  }
+  Image small = img.Resized(4, 4);
+  EXPECT_EQ(small.width(), 4);
+  EXPECT_EQ(small.height(), 4);
+  EXPECT_NEAR(small.Mean(), img.Mean(), 0.05f);
+}
+
+TEST(ImageTest, DownscaleAveragesBlocks) {
+  Image img(4, 2, 0.0f);
+  // Left half bright, right half dark.
+  for (int y = 0; y < 2; ++y) {
+    img.set(0, y, 1.0f);
+    img.set(1, y, 1.0f);
+  }
+  Image small = img.Resized(2, 1);
+  EXPECT_NEAR(small.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(small.at(1, 0), 0.0f, 1e-5f);
+}
+
+TEST(ImageTest, UpscaleInterpolates) {
+  Image img(2, 1);
+  img.set(0, 0, 0.0f);
+  img.set(1, 0, 1.0f);
+  Image big = img.Resized(4, 1);
+  EXPECT_EQ(big.width(), 4);
+  // Monotone left-to-right ramp.
+  for (int x = 1; x < 4; ++x) {
+    EXPECT_GE(big.at(x, 0), big.at(x - 1, 0));
+  }
+}
+
+TEST(ImageTest, MeanAbsDiff) {
+  Image a(2, 2, 0.5f);
+  Image b(2, 2, 0.75f);
+  EXPECT_NEAR(a.MeanAbsDiff(b), 0.25f, 1e-6f);
+  EXPECT_FLOAT_EQ(a.MeanAbsDiff(a), 0.0f);
+}
+
+}  // namespace
+}  // namespace otif::video
