@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_curves.dir/bench_fig5_curves.cc.o"
+  "CMakeFiles/bench_fig5_curves.dir/bench_fig5_curves.cc.o.d"
+  "bench_fig5_curves"
+  "bench_fig5_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

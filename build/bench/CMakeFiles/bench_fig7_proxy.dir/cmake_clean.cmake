@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_proxy.dir/bench_fig7_proxy.cc.o"
+  "CMakeFiles/bench_fig7_proxy.dir/bench_fig7_proxy.cc.o.d"
+  "bench_fig7_proxy"
+  "bench_fig7_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory_queries.dir/exploratory_queries.cc.o"
+  "CMakeFiles/exploratory_queries.dir/exploratory_queries.cc.o.d"
+  "exploratory_queries"
+  "exploratory_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

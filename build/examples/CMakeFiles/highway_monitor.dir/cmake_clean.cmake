@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_monitor.dir/highway_monitor.cc.o"
+  "CMakeFiles/highway_monitor.dir/highway_monitor.cc.o.d"
+  "highway_monitor"
+  "highway_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

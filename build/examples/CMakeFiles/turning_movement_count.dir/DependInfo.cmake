@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/turning_movement_count.cc" "examples/CMakeFiles/turning_movement_count.dir/turning_movement_count.cc.o" "gcc" "examples/CMakeFiles/turning_movement_count.dir/turning_movement_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/otif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/otif_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/otif_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/otif_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/otif_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/otif_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/otif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

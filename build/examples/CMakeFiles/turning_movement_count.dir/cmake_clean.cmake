@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turning_movement_count.dir/turning_movement_count.cc.o"
+  "CMakeFiles/turning_movement_count.dir/turning_movement_count.cc.o.d"
+  "turning_movement_count"
+  "turning_movement_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turning_movement_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

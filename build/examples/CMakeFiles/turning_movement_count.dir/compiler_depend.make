@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for turning_movement_count.
+# This may be replaced when dependencies are built.

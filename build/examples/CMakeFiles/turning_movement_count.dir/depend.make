@@ -1,0 +1,2 @@
+# Empty dependencies file for turning_movement_count.
+# This may be replaced when dependencies are built.

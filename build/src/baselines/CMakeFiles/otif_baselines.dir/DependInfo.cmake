@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/otif_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/blazeit.cc" "src/baselines/CMakeFiles/otif_baselines.dir/blazeit.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/blazeit.cc.o.d"
+  "/root/repo/src/baselines/catdet.cc" "src/baselines/CMakeFiles/otif_baselines.dir/catdet.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/catdet.cc.o.d"
+  "/root/repo/src/baselines/centertrack.cc" "src/baselines/CMakeFiles/otif_baselines.dir/centertrack.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/centertrack.cc.o.d"
+  "/root/repo/src/baselines/chameleon.cc" "src/baselines/CMakeFiles/otif_baselines.dir/chameleon.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/chameleon.cc.o.d"
+  "/root/repo/src/baselines/frame_query.cc" "src/baselines/CMakeFiles/otif_baselines.dir/frame_query.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/frame_query.cc.o.d"
+  "/root/repo/src/baselines/miris.cc" "src/baselines/CMakeFiles/otif_baselines.dir/miris.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/miris.cc.o.d"
+  "/root/repo/src/baselines/noscope.cc" "src/baselines/CMakeFiles/otif_baselines.dir/noscope.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/noscope.cc.o.d"
+  "/root/repo/src/baselines/tasti.cc" "src/baselines/CMakeFiles/otif_baselines.dir/tasti.cc.o" "gcc" "src/baselines/CMakeFiles/otif_baselines.dir/tasti.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/otif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/otif_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/otif_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/otif_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/otif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

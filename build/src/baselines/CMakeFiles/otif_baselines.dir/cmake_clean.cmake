@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_baselines.dir/baseline.cc.o"
+  "CMakeFiles/otif_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/blazeit.cc.o"
+  "CMakeFiles/otif_baselines.dir/blazeit.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/catdet.cc.o"
+  "CMakeFiles/otif_baselines.dir/catdet.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/centertrack.cc.o"
+  "CMakeFiles/otif_baselines.dir/centertrack.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/chameleon.cc.o"
+  "CMakeFiles/otif_baselines.dir/chameleon.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/frame_query.cc.o"
+  "CMakeFiles/otif_baselines.dir/frame_query.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/miris.cc.o"
+  "CMakeFiles/otif_baselines.dir/miris.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/noscope.cc.o"
+  "CMakeFiles/otif_baselines.dir/noscope.cc.o.d"
+  "CMakeFiles/otif_baselines.dir/tasti.cc.o"
+  "CMakeFiles/otif_baselines.dir/tasti.cc.o.d"
+  "libotif_baselines.a"
+  "libotif_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_config.cc" "src/core/CMakeFiles/otif_core.dir/best_config.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/best_config.cc.o.d"
+  "/root/repo/src/core/cell_grouping.cc" "src/core/CMakeFiles/otif_core.dir/cell_grouping.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/cell_grouping.cc.o.d"
+  "/root/repo/src/core/otif.cc" "src/core/CMakeFiles/otif_core.dir/otif.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/otif.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/otif_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/otif_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/tuner.cc.o.d"
+  "/root/repo/src/core/window_select.cc" "src/core/CMakeFiles/otif_core.dir/window_select.cc.o" "gcc" "src/core/CMakeFiles/otif_core.dir/window_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/otif_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/otif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/otif_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

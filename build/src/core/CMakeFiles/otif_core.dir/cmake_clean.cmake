@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_core.dir/best_config.cc.o"
+  "CMakeFiles/otif_core.dir/best_config.cc.o.d"
+  "CMakeFiles/otif_core.dir/cell_grouping.cc.o"
+  "CMakeFiles/otif_core.dir/cell_grouping.cc.o.d"
+  "CMakeFiles/otif_core.dir/otif.cc.o"
+  "CMakeFiles/otif_core.dir/otif.cc.o.d"
+  "CMakeFiles/otif_core.dir/pipeline.cc.o"
+  "CMakeFiles/otif_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/otif_core.dir/tuner.cc.o"
+  "CMakeFiles/otif_core.dir/tuner.cc.o.d"
+  "CMakeFiles/otif_core.dir/window_select.cc.o"
+  "CMakeFiles/otif_core.dir/window_select.cc.o.d"
+  "libotif_core.a"
+  "libotif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

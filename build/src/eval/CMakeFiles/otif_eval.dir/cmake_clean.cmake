@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_eval.dir/harness.cc.o"
+  "CMakeFiles/otif_eval.dir/harness.cc.o.d"
+  "CMakeFiles/otif_eval.dir/workload.cc.o"
+  "CMakeFiles/otif_eval.dir/workload.cc.o.d"
+  "libotif_eval.a"
+  "libotif_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_geom.dir/geometry.cc.o"
+  "CMakeFiles/otif_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/otif_geom.dir/grid_index.cc.o"
+  "CMakeFiles/otif_geom.dir/grid_index.cc.o.d"
+  "libotif_geom.a"
+  "libotif_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotif_geom.a"
+)

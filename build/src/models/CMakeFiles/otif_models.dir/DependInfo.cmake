@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cost_model.cc" "src/models/CMakeFiles/otif_models.dir/cost_model.cc.o" "gcc" "src/models/CMakeFiles/otif_models.dir/cost_model.cc.o.d"
+  "/root/repo/src/models/detector.cc" "src/models/CMakeFiles/otif_models.dir/detector.cc.o" "gcc" "src/models/CMakeFiles/otif_models.dir/detector.cc.o.d"
+  "/root/repo/src/models/embedding.cc" "src/models/CMakeFiles/otif_models.dir/embedding.cc.o" "gcc" "src/models/CMakeFiles/otif_models.dir/embedding.cc.o.d"
+  "/root/repo/src/models/proxy.cc" "src/models/CMakeFiles/otif_models.dir/proxy.cc.o" "gcc" "src/models/CMakeFiles/otif_models.dir/proxy.cc.o.d"
+  "/root/repo/src/models/tracker_net.cc" "src/models/CMakeFiles/otif_models.dir/tracker_net.cc.o" "gcc" "src/models/CMakeFiles/otif_models.dir/tracker_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/otif_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/otif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_models.dir/cost_model.cc.o"
+  "CMakeFiles/otif_models.dir/cost_model.cc.o.d"
+  "CMakeFiles/otif_models.dir/detector.cc.o"
+  "CMakeFiles/otif_models.dir/detector.cc.o.d"
+  "CMakeFiles/otif_models.dir/embedding.cc.o"
+  "CMakeFiles/otif_models.dir/embedding.cc.o.d"
+  "CMakeFiles/otif_models.dir/proxy.cc.o"
+  "CMakeFiles/otif_models.dir/proxy.cc.o.d"
+  "CMakeFiles/otif_models.dir/tracker_net.cc.o"
+  "CMakeFiles/otif_models.dir/tracker_net.cc.o.d"
+  "libotif_models.a"
+  "libotif_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_nn.dir/layers.cc.o"
+  "CMakeFiles/otif_nn.dir/layers.cc.o.d"
+  "CMakeFiles/otif_nn.dir/optimizer.cc.o"
+  "CMakeFiles/otif_nn.dir/optimizer.cc.o.d"
+  "libotif_nn.a"
+  "libotif_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_query.dir/queries.cc.o"
+  "CMakeFiles/otif_query.dir/queries.cc.o.d"
+  "libotif_query.a"
+  "libotif_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/otif_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/otif_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/raster.cc" "src/sim/CMakeFiles/otif_sim.dir/raster.cc.o" "gcc" "src/sim/CMakeFiles/otif_sim.dir/raster.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/otif_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/otif_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

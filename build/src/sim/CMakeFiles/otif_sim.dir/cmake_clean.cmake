@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_sim.dir/dataset.cc.o"
+  "CMakeFiles/otif_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/otif_sim.dir/raster.cc.o"
+  "CMakeFiles/otif_sim.dir/raster.cc.o.d"
+  "CMakeFiles/otif_sim.dir/world.cc.o"
+  "CMakeFiles/otif_sim.dir/world.cc.o.d"
+  "libotif_sim.a"
+  "libotif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

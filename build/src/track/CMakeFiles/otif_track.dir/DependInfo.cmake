@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/hungarian.cc" "src/track/CMakeFiles/otif_track.dir/hungarian.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/hungarian.cc.o.d"
+  "/root/repo/src/track/iou_tracker.cc" "src/track/CMakeFiles/otif_track.dir/iou_tracker.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/iou_tracker.cc.o.d"
+  "/root/repo/src/track/kalman.cc" "src/track/CMakeFiles/otif_track.dir/kalman.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/kalman.cc.o.d"
+  "/root/repo/src/track/metrics.cc" "src/track/CMakeFiles/otif_track.dir/metrics.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/metrics.cc.o.d"
+  "/root/repo/src/track/recurrent_tracker.cc" "src/track/CMakeFiles/otif_track.dir/recurrent_tracker.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/recurrent_tracker.cc.o.d"
+  "/root/repo/src/track/refine.cc" "src/track/CMakeFiles/otif_track.dir/refine.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/refine.cc.o.d"
+  "/root/repo/src/track/sort_tracker.cc" "src/track/CMakeFiles/otif_track.dir/sort_tracker.cc.o" "gcc" "src/track/CMakeFiles/otif_track.dir/sort_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/track/CMakeFiles/otif_track_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/otif_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/otif_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/otif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/otif_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/otif_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

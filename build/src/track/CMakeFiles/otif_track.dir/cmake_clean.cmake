@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_track.dir/hungarian.cc.o"
+  "CMakeFiles/otif_track.dir/hungarian.cc.o.d"
+  "CMakeFiles/otif_track.dir/iou_tracker.cc.o"
+  "CMakeFiles/otif_track.dir/iou_tracker.cc.o.d"
+  "CMakeFiles/otif_track.dir/kalman.cc.o"
+  "CMakeFiles/otif_track.dir/kalman.cc.o.d"
+  "CMakeFiles/otif_track.dir/metrics.cc.o"
+  "CMakeFiles/otif_track.dir/metrics.cc.o.d"
+  "CMakeFiles/otif_track.dir/recurrent_tracker.cc.o"
+  "CMakeFiles/otif_track.dir/recurrent_tracker.cc.o.d"
+  "CMakeFiles/otif_track.dir/refine.cc.o"
+  "CMakeFiles/otif_track.dir/refine.cc.o.d"
+  "CMakeFiles/otif_track.dir/sort_tracker.cc.o"
+  "CMakeFiles/otif_track.dir/sort_tracker.cc.o.d"
+  "libotif_track.a"
+  "libotif_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

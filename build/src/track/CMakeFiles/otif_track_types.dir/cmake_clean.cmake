@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_track_types.dir/types.cc.o"
+  "CMakeFiles/otif_track_types.dir/types.cc.o.d"
+  "libotif_track_types.a"
+  "libotif_track_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_track_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for otif_track_types.
+# This may be replaced when dependencies are built.

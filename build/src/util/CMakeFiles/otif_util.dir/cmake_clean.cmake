@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_util.dir/logging.cc.o"
+  "CMakeFiles/otif_util.dir/logging.cc.o.d"
+  "CMakeFiles/otif_util.dir/stats.cc.o"
+  "CMakeFiles/otif_util.dir/stats.cc.o.d"
+  "CMakeFiles/otif_util.dir/status.cc.o"
+  "CMakeFiles/otif_util.dir/status.cc.o.d"
+  "CMakeFiles/otif_util.dir/strings.cc.o"
+  "CMakeFiles/otif_util.dir/strings.cc.o.d"
+  "CMakeFiles/otif_util.dir/table.cc.o"
+  "CMakeFiles/otif_util.dir/table.cc.o.d"
+  "libotif_util.a"
+  "libotif_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otif_video.dir/codec.cc.o"
+  "CMakeFiles/otif_video.dir/codec.cc.o.d"
+  "CMakeFiles/otif_video.dir/image.cc.o"
+  "CMakeFiles/otif_video.dir/image.cc.o.d"
+  "libotif_video.a"
+  "libotif_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otif_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

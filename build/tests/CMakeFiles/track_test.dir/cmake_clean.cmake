@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_test.dir/track/hungarian_test.cc.o"
+  "CMakeFiles/track_test.dir/track/hungarian_test.cc.o.d"
+  "CMakeFiles/track_test.dir/track/metrics_test.cc.o"
+  "CMakeFiles/track_test.dir/track/metrics_test.cc.o.d"
+  "CMakeFiles/track_test.dir/track/recurrent_tracker_test.cc.o"
+  "CMakeFiles/track_test.dir/track/recurrent_tracker_test.cc.o.d"
+  "CMakeFiles/track_test.dir/track/refine_test.cc.o"
+  "CMakeFiles/track_test.dir/track/refine_test.cc.o.d"
+  "CMakeFiles/track_test.dir/track/trackers_test.cc.o"
+  "CMakeFiles/track_test.dir/track/trackers_test.cc.o.d"
+  "track_test"
+  "track_test.pdb"
+  "track_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_types_test.dir/track/types_test.cc.o"
+  "CMakeFiles/track_types_test.dir/track/types_test.cc.o.d"
+  "track_types_test"
+  "track_types_test.pdb"
+  "track_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_test.dir/video/codec_test.cc.o"
+  "CMakeFiles/video_test.dir/video/codec_test.cc.o.d"
+  "CMakeFiles/video_test.dir/video/image_test.cc.o"
+  "CMakeFiles/video_test.dir/video/image_test.cc.o.d"
+  "video_test"
+  "video_test.pdb"
+  "video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
