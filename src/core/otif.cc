@@ -8,6 +8,7 @@
 #include "sim/raster.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace otif::core {
 
@@ -266,9 +267,16 @@ void Otif::Prepare(const AccuracyFn& validation_accuracy,
   //    (used by tracker training to find same-frame negatives).
   {
     Pipeline pipeline(theta_best_, nullptr);
+    // Per-clip runs are independent; the offset bookkeeping below stays
+    // serial in clip order so S* is identical to a serial pass.
+    std::vector<PipelineResult> per_clip = ParallelMap(
+        ThreadPool::Default(), static_cast<int64_t>(train_clips_.size()),
+        [&](int64_t ci) {
+          return pipeline.Run(train_clips_[static_cast<size_t>(ci)]);
+        });
     int frame_offset = 0;
     for (size_t ci = 0; ci < train_clips_.size(); ++ci) {
-      PipelineResult r = pipeline.Run(train_clips_[ci]);
+      PipelineResult& r = per_clip[ci];
       for (track::Track& t : r.tracks) {
         for (track::Detection& d : t.detections) d.frame += frame_offset;
         t.id = static_cast<int64_t>(s_star_.size());

@@ -1,22 +1,13 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "track/metrics.h"
-#include "track/recurrent_tracker.h"
-#include "track/sort_tracker.h"
+#include "core/stages.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace otif::core {
-namespace {
-
-// GOP size assumed for decode-cost accounting; matches the default
-// video::CodecConfig.
-constexpr int kGopSize = 16;
-
-}  // namespace
 
 std::string PipelineConfig::ToString() const {
   return StrFormat(
@@ -60,170 +51,34 @@ Pipeline::Pipeline(PipelineConfig config, const TrainedModels* trained)
 }
 
 double Pipeline::DecodeSecondsForClip(const sim::Clip& clip) const {
-  const models::CostConstants& costs = models::DefaultCostConstants();
-  const int g = config_.sampling_gap;
-  const int samples = (clip.num_frames() + g - 1) / g;
-  // Reference chains: with g below the GOP size every frame must be
-  // decoded; above it, seeking to the preceding I-frame decodes an average
-  // of GOP/2 + 1 frames per sample.
-  const double frames_per_sample =
-      g < kGopSize ? static_cast<double>(g)
-                   : static_cast<double>(kGopSize) / 2.0 + 1.0;
-  const double frames_decoded = samples * frames_per_sample;
-  // Frames are decoded at the detector resolution (paper Sec 4).
-  const double px_per_frame = static_cast<double>(clip.spec().width) *
-                              clip.spec().height * config_.detector_scale *
-                              config_.detector_scale;
-  return frames_decoded *
-         (costs.decode_sec_per_frame + px_per_frame * costs.decode_sec_per_pixel);
+  return SimulatedDecodeSeconds(config_, clip);
 }
 
 PipelineResult Pipeline::Run(const sim::Clip& clip) const {
-  const models::CostConstants& costs = models::DefaultCostConstants();
-  const sim::DatasetSpec& spec = clip.spec();
   PipelineResult result;
-  result.clock.Charge(models::CostCategory::kDecode,
-                      DecodeSecondsForClip(clip));
-
   const models::DetectorArch arch = models::ArchByName(
       models::StandardDetectorArchs(), config_.detector_arch);
-  models::SimulatedDetector detector(arch);
-  const double scale = config_.detector_scale;
-
-  // Scaled window sizes for this detector resolution (W is selected in
-  // native coordinates; windows shrink with the frame).
-  std::vector<WindowSize> scaled_sizes;
-  models::ProxyModel* proxy = nullptr;
-  if (config_.use_proxy) {
-    proxy = trained_->proxies[static_cast<size_t>(
-                                  config_.proxy_resolution_index)]
-                .get();
-    for (const WindowSize& s : trained_->window_sizes) {
-      scaled_sizes.push_back(
-          WindowSize{static_cast<int>(std::ceil(s.w * scale)),
-                     static_cast<int>(std::ceil(s.h * scale))});
-    }
-  }
-
-  std::unique_ptr<track::Tracker> sort_tracker;
-  std::unique_ptr<track::RecurrentTracker> recurrent_tracker;
-  if (config_.tracker == TrackerKind::kSort) {
-    sort_tracker = std::make_unique<track::SortTracker>();
-  } else {
-    track::RecurrentTracker::Options opts;
-    opts.frame_w = spec.width;
-    opts.frame_h = spec.height;
-    opts.fps = spec.fps;
-    recurrent_tracker = std::make_unique<track::RecurrentTracker>(
-        trained_->tracker_net.get(), opts);
-  }
-
+  // Per-run render service shared by the proxy and tracking stages (its
+  // background cache makes it non-reentrant, so it must not outlive the run).
   sim::Rasterizer raster(&clip);
-  const double scaled_w = spec.width * scale;
-  const double scaled_h = spec.height * scale;
-  double coverage_sum = 0.0;
-  int coverage_frames = 0;
 
+  // The stage sequence (paper Fig 2). Stages are per-run scoped and
+  // communicate only through the FrameContext and the result clock.
+  DecodeStage decode(config_, clip);
+  ProxyStage proxy(config_, trained_, clip, arch, &raster);
+  DetectStage detect(config_, clip, arch);
+  TrackStage track(config_, trained_, clip, &raster);
+  RefineStage refine(config_, trained_, clip);
+  Stage* const stages[] = {&decode, &proxy, &detect, &track, &refine};
+
+  for (Stage* stage : stages) stage->BeginClip(&result);
   for (int f = 0; f < clip.num_frames(); f += config_.sampling_gap) {
     ++result.frames_processed;
-    track::FrameDetections dets;
-    video::Image proxy_frame;  // Low-res render reused for appearance.
-    bool have_raster = false;
-
-    if (proxy != nullptr) {
-      // Score cells (cached across tuner evaluations), then group into
-      // windows and run the detector only inside them.
-      const auto key = std::make_tuple(clip.clip_seed(), f,
-                                       config_.proxy_resolution_index);
-      auto it = trained_->proxy_cache.find(key);
-      nn::Tensor scores;
-      proxy_frame = raster.Render(f, proxy->resolution().raster_w(),
-                                  proxy->resolution().raster_h());
-      have_raster = true;
-      if (it != trained_->proxy_cache.end()) {
-        scores = it->second;
-      } else {
-        scores = proxy->Score(proxy_frame);
-        trained_->proxy_cache.emplace(key, scores);
-      }
-      result.clock.Charge(
-          models::CostCategory::kProxy,
-          costs.proxy_sec_per_frame +
-              costs.proxy_sec_per_pixel * proxy->resolution().world_pixels());
-
-      const CellGrid grid =
-          CellGrid::FromScores(scores, config_.proxy_threshold);
-      if (grid.CountPositive() == 0) {
-        // Nothing in the frame: skip the detector entirely.
-        coverage_sum += 1.0;
-        ++coverage_frames;
-      } else {
-        const GroupingResult grouping =
-            GroupCells(grid, scaled_sizes, arch, scaled_w, scaled_h);
-        result.clock.Charge(models::CostCategory::kDetect,
-                            grouping.est_seconds);
-        const std::vector<geom::BBox> rects = WindowsToNativeRects(
-            grouping, scaled_w, scaled_h, grid.grid_w, grid.grid_h, scale);
-        dets = models::FilterByWindows(detector.Detect(clip, f, scale), rects);
-        coverage_sum +=
-            track::DetectionCoverage(clip.GroundTruthDetections(f), rects);
-        ++coverage_frames;
-      }
-    } else {
-      result.clock.Charge(models::CostCategory::kDetect,
-                          detector.FullFrameSeconds(clip, scale));
-      dets = detector.Detect(clip, f, scale);
-    }
-
-    dets = models::FilterByConfidence(dets, config_.detector_confidence);
-    result.detections_kept += static_cast<int64_t>(dets.size());
-
-    if (sort_tracker != nullptr) {
-      result.clock.Charge(
-          models::CostCategory::kTrack,
-          costs.sort_sec_per_detection * static_cast<double>(dets.size()));
-      sort_tracker->ProcessFrame(f, dets);
-    } else {
-      // Appearance statistics from a low-res render (reuse the proxy frame
-      // when available; otherwise render at the smallest standard proxy
-      // resolution — charged as tracker time).
-      if (!have_raster) {
-        proxy_frame = raster.Render(f, 40, 24);
-      }
-      std::vector<std::pair<double, double>> appearance;
-      appearance.reserve(dets.size());
-      for (const track::Detection& d : dets) {
-        appearance.push_back(models::TrackerNet::AppearanceStats(
-            proxy_frame, d.box, spec.width, spec.height));
-      }
-      const int64_t pairs_before = recurrent_tracker->pair_scores_computed();
-      recurrent_tracker->ProcessFrameWithAppearance(f, dets, appearance);
-      const int64_t pairs = recurrent_tracker->pair_scores_computed() -
-                            pairs_before;
-      result.clock.Charge(
-          models::CostCategory::kTrack,
-          costs.track_sec_per_frame +
-              costs.track_sec_per_detection *
-                  static_cast<double>(dets.size() + pairs / 4));
-    }
+    FrameContext ctx;
+    ctx.frame = f;
+    for (Stage* stage : stages) stage->ProcessFrame(&ctx, &result);
   }
-
-  track::Tracker* tracker = sort_tracker != nullptr
-                                ? static_cast<track::Tracker*>(sort_tracker.get())
-                                : recurrent_tracker.get();
-  // Paper Sec 3.4: prune single-detection tracks as likely noise.
-  result.tracks = tracker->Finish(2);
-
-  if (config_.refine && trained_ != nullptr &&
-      trained_->refiner != nullptr && !spec.moving_camera) {
-    result.tracks = trained_->refiner->RefineAll(result.tracks);
-    result.clock.Charge(
-        models::CostCategory::kRefine,
-        costs.refine_sec_per_track * static_cast<double>(result.tracks.size()));
-  }
-
-  result.mean_window_coverage =
-      coverage_frames > 0 ? coverage_sum / coverage_frames : 1.0;
+  for (Stage* stage : stages) stage->EndClip(&result);
   return result;
 }
 

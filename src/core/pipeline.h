@@ -1,12 +1,12 @@
 #ifndef OTIF_CORE_PIPELINE_H_
 #define OTIF_CORE_PIPELINE_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cell_grouping.h"
+#include "core/proxy_cache.h"
 #include "models/cost_model.h"
 #include "models/detector.h"
 #include "models/proxy.h"
@@ -60,9 +60,10 @@ struct TrainedModels {
   std::vector<WindowSize> window_sizes;
   std::unique_ptr<track::TrackRefiner> refiner;
 
-  /// Cache of proxy scores keyed by (clip seed, frame, resolution index);
-  /// tuner evaluations re-score the same frames under many thresholds.
-  mutable std::map<std::tuple<uint64_t, int, int>, nn::Tensor> proxy_cache;
+  /// Thread-safe cache of proxy scores keyed by (clip seed, frame,
+  /// resolution index); tuner evaluations re-score the same frames under
+  /// many thresholds, possibly from several worker threads.
+  ProxyScoreCache proxy_cache;
 };
 
 /// Outcome of running the pipeline over one clip.

@@ -1,0 +1,49 @@
+#include "core/proxy_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace otif::core {
+
+ProxyScoreCache::ProxyScoreCache(size_t capacity) : capacity_(capacity) {
+  OTIF_CHECK_GE(capacity, 1u);
+}
+
+nn::Tensor ProxyScoreCache::GetOrCompute(
+    const Key& key, const std::function<nn::Tensor()>& compute) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  nn::Tensor scores = compute();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have inserted the key meanwhile; first write wins.
+  if (entries_.emplace(key, scores).second) {
+    insertion_order_.push_back(key);
+    while (entries_.size() > capacity_) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+    }
+  }
+  return scores;
+}
+
+void ProxyScoreCache::Clear() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+size_t ProxyScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace otif::core

@@ -1,0 +1,240 @@
+#include "core/stages.h"
+
+#include <cmath>
+#include <utility>
+
+#include "track/metrics.h"
+#include "track/sort_tracker.h"
+#include "util/logging.h"
+
+namespace otif::core {
+namespace {
+
+// GOP size assumed for decode-cost accounting; matches the default
+// video::CodecConfig.
+constexpr int kGopSize = 16;
+
+}  // namespace
+
+double SimulatedDecodeSeconds(const PipelineConfig& config,
+                              const sim::Clip& clip) {
+  const models::CostConstants& costs = models::DefaultCostConstants();
+  const int g = config.sampling_gap;
+  const int samples = (clip.num_frames() + g - 1) / g;
+  // Reference chains: with g below the GOP size every frame must be
+  // decoded; above it, seeking to the preceding I-frame decodes an average
+  // of GOP/2 + 1 frames per sample.
+  const double frames_per_sample =
+      g < kGopSize ? static_cast<double>(g)
+                   : static_cast<double>(kGopSize) / 2.0 + 1.0;
+  const double frames_decoded = samples * frames_per_sample;
+  // Frames are decoded at the detector resolution (paper Sec 4).
+  const double px_per_frame = static_cast<double>(clip.spec().width) *
+                              clip.spec().height * config.detector_scale *
+                              config.detector_scale;
+  return frames_decoded * (costs.decode_sec_per_frame +
+                           px_per_frame * costs.decode_sec_per_pixel);
+}
+
+// --- DecodeStage ------------------------------------------------------------
+
+DecodeStage::DecodeStage(const PipelineConfig& config, const sim::Clip& clip)
+    : config_(config), clip_(clip) {}
+
+void DecodeStage::BeginClip(PipelineResult* result) {
+  result->clock.Charge(models::CostCategory::kDecode,
+                       SimulatedDecodeSeconds(config_, clip_));
+}
+
+void DecodeStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  // Sampled frames arrive already decoded; the cost is clip-level.
+  (void)ctx;
+  (void)result;
+}
+
+// --- ProxyStage -------------------------------------------------------------
+
+ProxyStage::ProxyStage(const PipelineConfig& config,
+                       const TrainedModels* trained, const sim::Clip& clip,
+                       const models::DetectorArch& arch,
+                       sim::Rasterizer* raster)
+    : config_(config),
+      trained_(config.use_proxy ? trained : nullptr),
+      clip_(clip),
+      arch_(arch),
+      raster_(raster) {
+  if (trained_ == nullptr) return;
+  proxy_ = trained_->proxies[static_cast<size_t>(
+                                 config_.proxy_resolution_index)]
+               .get();
+  const double scale = config_.detector_scale;
+  for (const WindowSize& s : trained_->window_sizes) {
+    scaled_sizes_.push_back(
+        WindowSize{static_cast<int>(std::ceil(s.w * scale)),
+                   static_cast<int>(std::ceil(s.h * scale))});
+  }
+  scaled_w_ = clip_.spec().width * scale;
+  scaled_h_ = clip_.spec().height * scale;
+}
+
+void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  if (proxy_ == nullptr) return;
+  const models::CostConstants& costs = models::DefaultCostConstants();
+
+  ctx->low_res_frame = raster_->Render(ctx->frame,
+                                       proxy_->resolution().raster_w(),
+                                       proxy_->resolution().raster_h());
+  ctx->have_low_res_frame = true;
+  // Cell scores are cached across tuner evaluations (many thresholds score
+  // the same frames); the cache is shared and thread-safe.
+  const ProxyScoreCache::Key key = std::make_tuple(
+      clip_.clip_seed(), ctx->frame, config_.proxy_resolution_index);
+  const nn::Tensor scores = trained_->proxy_cache.GetOrCompute(
+      key, [&] { return proxy_->Score(ctx->low_res_frame); });
+  result->clock.Charge(
+      models::CostCategory::kProxy,
+      costs.proxy_sec_per_frame +
+          costs.proxy_sec_per_pixel * proxy_->resolution().world_pixels());
+
+  ctx->proxy_ran = true;
+  const CellGrid grid = CellGrid::FromScores(scores, config_.proxy_threshold);
+  if (grid.CountPositive() == 0) {
+    // Nothing in the frame: downstream stages skip the detector entirely.
+    ctx->skip_detector = true;
+    return;
+  }
+  const GroupingResult grouping =
+      GroupCells(grid, scaled_sizes_, arch_, scaled_w_, scaled_h_);
+  ctx->windowed_detect_seconds = grouping.est_seconds;
+  ctx->windows = WindowsToNativeRects(grouping, scaled_w_, scaled_h_,
+                                      grid.grid_w, grid.grid_h,
+                                      config_.detector_scale);
+}
+
+// --- DetectStage ------------------------------------------------------------
+
+DetectStage::DetectStage(const PipelineConfig& config, const sim::Clip& clip,
+                         const models::DetectorArch& arch)
+    : config_(config), clip_(clip), detector_(arch) {}
+
+void DetectStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  const double scale = config_.detector_scale;
+  if (ctx->proxy_ran) {
+    if (ctx->skip_detector) {
+      coverage_sum_ += 1.0;
+      ++coverage_frames_;
+    } else {
+      result->clock.Charge(models::CostCategory::kDetect,
+                           ctx->windowed_detect_seconds);
+      ctx->detections = models::FilterByWindows(
+          detector_.Detect(clip_, ctx->frame, scale), ctx->windows);
+      coverage_sum_ += track::DetectionCoverage(
+          clip_.GroundTruthDetections(ctx->frame), ctx->windows);
+      ++coverage_frames_;
+    }
+  } else {
+    result->clock.Charge(models::CostCategory::kDetect,
+                         detector_.FullFrameSeconds(clip_, scale));
+    ctx->detections = detector_.Detect(clip_, ctx->frame, scale);
+  }
+
+  ctx->detections =
+      models::FilterByConfidence(ctx->detections, config_.detector_confidence);
+  result->detections_kept += static_cast<int64_t>(ctx->detections.size());
+}
+
+void DetectStage::EndClip(PipelineResult* result) {
+  result->mean_window_coverage =
+      coverage_frames_ > 0 ? coverage_sum_ / coverage_frames_ : 1.0;
+}
+
+// --- TrackStage -------------------------------------------------------------
+
+TrackStage::TrackStage(const PipelineConfig& config,
+                       const TrainedModels* trained, const sim::Clip& clip,
+                       sim::Rasterizer* raster)
+    : config_(config), clip_(clip), raster_(raster) {
+  const sim::DatasetSpec& spec = clip_.spec();
+  if (config_.tracker == TrackerKind::kSort) {
+    sort_tracker_ = std::make_unique<track::SortTracker>();
+  } else {
+    track::RecurrentTracker::Options opts;
+    opts.frame_w = spec.width;
+    opts.frame_h = spec.height;
+    opts.fps = spec.fps;
+    recurrent_tracker_ = std::make_unique<track::RecurrentTracker>(
+        trained->tracker_net.get(), opts);
+  }
+}
+
+void TrackStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  const models::CostConstants& costs = models::DefaultCostConstants();
+  const track::FrameDetections& dets = ctx->detections;
+
+  if (sort_tracker_ != nullptr) {
+    result->clock.Charge(
+        models::CostCategory::kTrack,
+        costs.sort_sec_per_detection * static_cast<double>(dets.size()));
+    sort_tracker_->ProcessFrame(ctx->frame, dets);
+    return;
+  }
+
+  // Appearance statistics from a low-res render (reuse the proxy stage's
+  // when available; otherwise render at the smallest standard proxy
+  // resolution — charged as tracker time).
+  const sim::DatasetSpec& spec = clip_.spec();
+  if (!ctx->have_low_res_frame) {
+    ctx->low_res_frame = raster_->Render(ctx->frame, 40, 24);
+    ctx->have_low_res_frame = true;
+  }
+  std::vector<std::pair<double, double>> appearance;
+  appearance.reserve(dets.size());
+  for (const track::Detection& d : dets) {
+    appearance.push_back(models::TrackerNet::AppearanceStats(
+        ctx->low_res_frame, d.box, spec.width, spec.height));
+  }
+  const int64_t pairs_before = recurrent_tracker_->pair_scores_computed();
+  recurrent_tracker_->ProcessFrameWithAppearance(ctx->frame, dets, appearance);
+  const int64_t pairs =
+      recurrent_tracker_->pair_scores_computed() - pairs_before;
+  result->clock.Charge(
+      models::CostCategory::kTrack,
+      costs.track_sec_per_frame +
+          costs.track_sec_per_detection *
+              static_cast<double>(dets.size() + pairs / 4));
+}
+
+void TrackStage::EndClip(PipelineResult* result) {
+  track::Tracker* tracker =
+      sort_tracker_ != nullptr
+          ? static_cast<track::Tracker*>(sort_tracker_.get())
+          : recurrent_tracker_.get();
+  // Paper Sec 3.4: prune single-detection tracks as likely noise.
+  result->tracks = tracker->Finish(2);
+}
+
+// --- RefineStage ------------------------------------------------------------
+
+RefineStage::RefineStage(const PipelineConfig& config,
+                         const TrainedModels* trained, const sim::Clip& clip)
+    : config_(config), trained_(trained), clip_(clip) {}
+
+void RefineStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  // Refinement is a clip-level post-pass over finished tracks.
+  (void)ctx;
+  (void)result;
+}
+
+void RefineStage::EndClip(PipelineResult* result) {
+  if (!config_.refine || trained_ == nullptr ||
+      trained_->refiner == nullptr || clip_.spec().moving_camera) {
+    return;
+  }
+  const models::CostConstants& costs = models::DefaultCostConstants();
+  result->tracks = trained_->refiner->RefineAll(result->tracks);
+  result->clock.Charge(
+      models::CostCategory::kRefine,
+      costs.refine_sec_per_track * static_cast<double>(result->tracks.size()));
+}
+
+}  // namespace otif::core

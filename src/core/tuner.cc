@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "track/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace otif::core {
 
@@ -31,6 +33,7 @@ void Tuner::CacheDetectionModule(const PipelineConfig& theta_best) {
   // measured on the validation set with other parameters from theta_best
   // (Sec 3.5.1).
   const sim::DatasetSpec& spec = (*validation_)[0].spec();
+  std::vector<DetectionProfile> profiles;
   for (const models::DetectorArch& arch : models::StandardDetectorArchs()) {
     for (double scale : StandardDetectorScales()) {
       DetectionProfile profile;
@@ -38,18 +41,27 @@ void Tuner::CacheDetectionModule(const PipelineConfig& theta_best) {
       profile.scale = scale;
       profile.per_frame_sec = models::DetectorWindowSeconds(
           arch, spec.width * scale, spec.height * scale);
-      PipelineConfig config = theta_best;
-      config.detector_arch = arch.name;
-      config.detector_scale = scale;
-      config.use_proxy = false;
-      config.tracker = TrackerKind::kSort;
-      config.refine = false;
-      profile.accuracy =
-          EvaluateConfig(config, trained_, *validation_, accuracy_fn_)
-              .accuracy;
-      ++evaluations_;
-      detection_profiles_.push_back(profile);
+      profiles.push_back(std::move(profile));
     }
+  }
+  // The grid points are independent measurements; evaluate them across the
+  // pool and fill accuracies back in by index.
+  const std::vector<double> accuracies = ParallelMap(
+      ThreadPool::Default(), static_cast<int64_t>(profiles.size()),
+      [&](int64_t i) {
+        PipelineConfig config = theta_best;
+        config.detector_arch = profiles[static_cast<size_t>(i)].arch;
+        config.detector_scale = profiles[static_cast<size_t>(i)].scale;
+        config.use_proxy = false;
+        config.tracker = TrackerKind::kSort;
+        config.refine = false;
+        return EvaluateConfig(config, trained_, *validation_, accuracy_fn_)
+            .accuracy;
+      });
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    profiles[i].accuracy = accuracies[i];
+    ++evaluations_;
+    detection_profiles_.push_back(std::move(profiles[i]));
   }
 }
 
@@ -80,51 +92,59 @@ void Tuner::CacheProxyModule(const PipelineConfig& theta_best) {
     for (const sim::Clip& clip : *validation_) {
       sim::Rasterizer raster(&clip);
       for (int f = 0; f < clip.num_frames(); f += stride) {
-        const auto key =
-            std::make_tuple(clip.clip_seed(), f, static_cast<int>(res));
-        auto it = trained_->proxy_cache.find(key);
-        nn::Tensor scores;
-        if (it != trained_->proxy_cache.end()) {
-          scores = it->second;
-        } else {
-          scores = proxy->Score(raster.Render(f, proxy->resolution().raster_w(),
-                                              proxy->resolution().raster_h()));
-          trained_->proxy_cache.emplace(key, scores);
-        }
+        nn::Tensor scores = trained_->proxy_cache.GetOrCompute(
+            std::make_tuple(clip.clip_seed(), f, static_cast<int>(res)),
+            [&] {
+              return proxy->Score(
+                  raster.Render(f, proxy->resolution().raster_w(),
+                                proxy->resolution().raster_h()));
+            });
         scored.push_back({&clip, f, std::move(scores)});
       }
     }
-    for (double threshold : StandardProxyThresholds()) {
-      ProxyProfile profile;
-      profile.resolution_index = static_cast<int>(res);
-      profile.threshold = threshold;
-      profile.proxy_sec_per_frame =
-          costs.proxy_sec_per_frame +
-          costs.proxy_sec_per_pixel * proxy->resolution().world_pixels();
-      double cost_sum = 0.0;
-      double recall_sum = 0.0;
-      int frames = 0;
-      for (const FrameScore& fs : scored) {
-        const CellGrid grid = CellGrid::FromScores(fs.scores, threshold);
-        GroupingResult grouping;
-        std::vector<geom::BBox> rects;
-        if (grid.CountPositive() > 0) {
-          grouping = GroupCells(grid, trained_->window_sizes, arch,
-                                spec.width, spec.height);
-          rects = WindowsToNativeRects(grouping, spec.width, spec.height,
-                                       grid.grid_w, grid.grid_h, 1.0);
-        }
-        cost_sum += grouping.est_seconds / full_cost;
-        // Recall against theta_best detections (the best automatic labels).
-        const track::FrameDetections dets = models::FilterByConfidence(
-            detector.Detect(*fs.clip, fs.frame, theta_best.detector_scale),
-            theta_best.detector_confidence);
-        recall_sum += track::DetectionCoverage(dets, rects);
-        ++frames;
-      }
-      profile.relative_detector_cost = frames > 0 ? cost_sum / frames : 1.0;
-      profile.recall = frames > 0 ? recall_sum / frames : 1.0;
-      proxy_profiles_.push_back(profile);
+    // Thresholds only re-read the shared scores; profile them in parallel
+    // and append in threshold order (tie-breaking below scans in order).
+    const std::vector<double> thresholds = StandardProxyThresholds();
+    std::vector<ProxyProfile> profiles = ParallelMap(
+        ThreadPool::Default(), static_cast<int64_t>(thresholds.size()),
+        [&](int64_t ti) {
+          const double threshold = thresholds[static_cast<size_t>(ti)];
+          ProxyProfile profile;
+          profile.resolution_index = static_cast<int>(res);
+          profile.threshold = threshold;
+          profile.proxy_sec_per_frame =
+              costs.proxy_sec_per_frame +
+              costs.proxy_sec_per_pixel * proxy->resolution().world_pixels();
+          double cost_sum = 0.0;
+          double recall_sum = 0.0;
+          int frames = 0;
+          for (const FrameScore& fs : scored) {
+            const CellGrid grid = CellGrid::FromScores(fs.scores, threshold);
+            GroupingResult grouping;
+            std::vector<geom::BBox> rects;
+            if (grid.CountPositive() > 0) {
+              grouping = GroupCells(grid, trained_->window_sizes, arch,
+                                    spec.width, spec.height);
+              rects = WindowsToNativeRects(grouping, spec.width, spec.height,
+                                           grid.grid_w, grid.grid_h, 1.0);
+            }
+            cost_sum += grouping.est_seconds / full_cost;
+            // Recall against theta_best detections (the best automatic
+            // labels).
+            const track::FrameDetections dets = models::FilterByConfidence(
+                detector.Detect(*fs.clip, fs.frame,
+                                theta_best.detector_scale),
+                theta_best.detector_confidence);
+            recall_sum += track::DetectionCoverage(dets, rects);
+            ++frames;
+          }
+          profile.relative_detector_cost =
+              frames > 0 ? cost_sum / frames : 1.0;
+          profile.recall = frames > 0 ? recall_sum / frames : 1.0;
+          return profile;
+        });
+    for (ProxyProfile& profile : profiles) {
+      proxy_profiles_.push_back(std::move(profile));
     }
   }
 }
@@ -266,14 +286,22 @@ std::vector<TunerPoint> Tuner::Run(const PipelineConfig& theta_best) {
     }
     if (candidates.empty()) break;
 
+    // Evaluate the round's candidates concurrently; selecting the winner
+    // scans results in candidate order, so ties resolve exactly as the
+    // serial loop did (first proposal wins).
+    const std::vector<EvalResult> results = ParallelMap(
+        ThreadPool::Default(), static_cast<int64_t>(candidates.size()),
+        [&](int64_t i) {
+          return EvaluateConfig(candidates[static_cast<size_t>(i)], trained_,
+                                *validation_, accuracy_fn_);
+        });
     double best_accuracy = -1.0;
     TunerPoint best_point;
-    for (const PipelineConfig& c : candidates) {
-      EvalResult r = EvaluateConfig(c, trained_, *validation_, accuracy_fn_);
+    for (size_t i = 0; i < candidates.size(); ++i) {
       ++evaluations_;
-      if (r.accuracy > best_accuracy) {
-        best_accuracy = r.accuracy;
-        best_point = {c, r.seconds, r.accuracy};
+      if (results[i].accuracy > best_accuracy) {
+        best_accuracy = results[i].accuracy;
+        best_point = {candidates[i], results[i].seconds, results[i].accuracy};
       }
     }
     curve.push_back(best_point);

@@ -8,6 +8,7 @@
 #include "baselines/miris.h"
 #include "baselines/noscope.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace otif::eval {
 
@@ -52,6 +53,11 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
   }
 
   // --- Baselines ---
+  // Construct every requested baseline first, then run them across the
+  // worker pool: the methods are independent of one another and only read
+  // the shared clip sets. Curves are inserted in baseline order afterwards
+  // so the result is identical to the serial loop.
+  std::vector<std::unique_ptr<baselines::TrackBaseline>> to_run;
   for (const std::string& method : options.methods) {
     if (method == "centertrack" && options.centertrack_skips_moving_camera &&
         workload.spec.moving_camera) {
@@ -75,8 +81,17 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
     }
     OTIF_LOG(kInfo) << "[" << result.dataset << "] running "
                     << baseline->name();
-    result.curves[baseline->name()] =
-        baseline->Run(*valid, *test, valid_accuracy, test_accuracy);
+    to_run.push_back(std::move(baseline));
+  }
+  std::vector<std::vector<baselines::MethodPoint>> curves = ParallelMap(
+      ThreadPool::Default(), static_cast<int64_t>(to_run.size()),
+      [&](int64_t i) {
+        return to_run[static_cast<size_t>(i)]->Run(*valid, *test,
+                                                   valid_accuracy,
+                                                   test_accuracy);
+      });
+  for (size_t i = 0; i < to_run.size(); ++i) {
+    result.curves[to_run[i]->name()] = std::move(curves[i]);
   }
 
   for (const auto& [name, points] : result.curves) {

@@ -54,9 +54,11 @@ nn::Tensor ProxyModel::ForwardLogits(const video::Image& frame) {
   return logits;
 }
 
-nn::Tensor ProxyModel::Score(const video::Image& frame) {
-  nn::Tensor logits = ForwardLogits(frame);
-  net_.ClearCache();
+nn::Tensor ProxyModel::Score(const video::Image& frame) const {
+  nn::Tensor logits = net_.Infer(ImageToTensor(frame));
+  OTIF_CHECK_EQ(logits.dim(0), 1);
+  OTIF_CHECK_EQ(logits.dim(1), resolution_.grid_h());
+  OTIF_CHECK_EQ(logits.dim(2), resolution_.grid_w());
   nn::Tensor probs({resolution_.grid_h(), resolution_.grid_w()});
   for (int64_t i = 0; i < probs.size(); ++i) {
     probs[i] = nn::StableSigmoid(logits[i]);

@@ -53,8 +53,10 @@ class ProxyModel {
   const ProxyResolution& resolution() const { return resolution_; }
 
   /// Scores a frame (any resolution; resized to the raster input size).
-  /// Returns per-cell probabilities in a (grid_h, grid_w) tensor.
-  nn::Tensor Score(const video::Image& frame);
+  /// Returns per-cell probabilities in a (grid_h, grid_w) tensor. Uses the
+  /// cache-free inference path, so concurrent calls on a shared trained
+  /// model are safe (training must stay single-threaded).
+  nn::Tensor Score(const video::Image& frame) const;
 
   /// One training step on (frame, cell labels); returns the BCE loss.
   /// `labels` must be (grid_h, grid_w) with 0/1 entries.

@@ -145,22 +145,18 @@ nn::Tensor TrackerNet::MatcherInput(const nn::Tensor& hidden,
 }
 
 nn::Tensor TrackerNet::Advance(const nn::Tensor& hidden,
-                               const nn::Tensor& det_feature) {
-  nn::Tensor encoded = EncodeDet(det_feature);
-  det_encoder_.ClearCache();
-  nn::Tensor h = gru_->Step(encoded, hidden);
-  gru_->ClearCache();
-  return h;
+                               const nn::Tensor& det_feature) const {
+  OTIF_CHECK_EQ(det_feature.size(), kDetFeatureDim);
+  return gru_->StepInfer(det_encoder_.Infer(det_feature), hidden);
 }
 
 double TrackerNet::ScorePair(const nn::Tensor& hidden,
                              const nn::Tensor& det_feature,
-                             const nn::Tensor& pair_feature) {
-  nn::Tensor encoded = EncodeDet(det_feature);
-  det_encoder_.ClearCache();
+                             const nn::Tensor& pair_feature) const {
+  OTIF_CHECK_EQ(det_feature.size(), kDetFeatureDim);
+  nn::Tensor encoded = det_encoder_.Infer(det_feature);
   nn::Tensor logit =
-      matcher_.Forward(MatcherInput(hidden, encoded, pair_feature));
-  matcher_.ClearCache();
+      matcher_.Infer(MatcherInput(hidden, encoded, pair_feature));
   return nn::StableSigmoid(logit[0]);
 }
 

@@ -69,13 +69,16 @@ class TrackerNet {
   /// Zero hidden state for a new track.
   nn::Tensor InitialHidden() const;
 
-  /// Inference: folds one detection feature into the hidden state.
-  nn::Tensor Advance(const nn::Tensor& hidden, const nn::Tensor& det_feature);
+  /// Inference: folds one detection feature into the hidden state. Uses
+  /// the cache-free inference path; safe to call concurrently from many
+  /// trackers sharing one trained net.
+  nn::Tensor Advance(const nn::Tensor& hidden,
+                     const nn::Tensor& det_feature) const;
 
   /// Inference: match probability (sigmoid of the logit) for a candidate
-  /// against a track hidden state.
+  /// against a track hidden state. Thread-safe like Advance.
   double ScorePair(const nn::Tensor& hidden, const nn::Tensor& det_feature,
-                   const nn::Tensor& pair_feature);
+                   const nn::Tensor& pair_feature) const;
 
   /// One training example: a track prefix (already gap-subsampled, features
   /// built with their true t_elapsed), candidate detections in the next

@@ -35,6 +35,12 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
 }
 
 Tensor Conv2d::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  cache_.push_back(input);
+  return out;
+}
+
+Tensor Conv2d::Infer(const Tensor& input) const {
   OTIF_CHECK_EQ(input.ndim(), 3);
   OTIF_CHECK_EQ(input.dim(0), in_channels_);
   const int h = input.dim(1), w = input.dim(2);
@@ -70,7 +76,6 @@ Tensor Conv2d::Forward(const Tensor& input) {
       }
     }
   }
-  cache_.push_back(input);
   return out;
 }
 
@@ -136,6 +141,12 @@ Linear::Linear(int in_features, int out_features, Rng* rng)
       bias_(Tensor::Zeros({out_features})) {}
 
 Tensor Linear::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  cache_.push_back(input);
+  return out;
+}
+
+Tensor Linear::Infer(const Tensor& input) const {
   OTIF_CHECK_EQ(input.size(), in_features_);
   Tensor out({out_features_});
   const float* wdata = weight_.value.data();
@@ -145,7 +156,6 @@ Tensor Linear::Forward(const Tensor& input) {
     for (int i = 0; i < in_features_; ++i) acc += wrow[i] * input[i];
     out[o] = acc;
   }
-  cache_.push_back(input);
   return out;
 }
 
@@ -178,9 +188,14 @@ void Linear::CollectParameters(std::vector<Parameter*>* out) {
 // --- Elementwise activations -------------------------------------------------
 
 Tensor Relu::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Relu::Infer(const Tensor& input) const {
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
-  cache_.push_back(out);
   return out;
 }
 
@@ -196,9 +211,14 @@ Tensor Relu::Backward(const Tensor& grad_output) {
 }
 
 Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Sigmoid::Infer(const Tensor& input) const {
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) out[i] = StableSigmoid(out[i]);
-  cache_.push_back(out);
   return out;
 }
 
@@ -214,9 +234,14 @@ Tensor Sigmoid::Backward(const Tensor& grad_output) {
 }
 
 Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  cache_.push_back(out);
+  return out;
+}
+
+Tensor Tanh::Infer(const Tensor& input) const {
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
-  cache_.push_back(out);
   return out;
 }
 
@@ -295,31 +320,42 @@ GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
       uh_(Tensor::RandomHe({hidden_size, hidden_size}, hidden_size, rng)),
       bh_(Tensor::Zeros({hidden_size})) {}
 
-Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev) {
+Tensor GruCell::ComputeStep(const Tensor& x, const Tensor& h_prev,
+                            StepCache* c) const {
   OTIF_CHECK_EQ(x.size(), input_size_);
   OTIF_CHECK_EQ(h_prev.size(), hidden_size_);
-  StepCache c;
-  c.x = x;
-  c.h_prev = h_prev;
+  c->x = x;
+  c->h_prev = h_prev;
 
-  c.z = Affine2(wz_, uz_, bz_, x, h_prev);
-  for (int64_t i = 0; i < c.z.size(); ++i) c.z[i] = StableSigmoid(c.z[i]);
-  c.r = Affine2(wr_, ur_, br_, x, h_prev);
-  for (int64_t i = 0; i < c.r.size(); ++i) c.r[i] = StableSigmoid(c.r[i]);
+  c->z = Affine2(wz_, uz_, bz_, x, h_prev);
+  for (int64_t i = 0; i < c->z.size(); ++i) c->z[i] = StableSigmoid(c->z[i]);
+  c->r = Affine2(wr_, ur_, br_, x, h_prev);
+  for (int64_t i = 0; i < c->r.size(); ++i) c->r[i] = StableSigmoid(c->r[i]);
 
   Tensor rh({hidden_size_});
-  for (int i = 0; i < hidden_size_; ++i) rh[i] = c.r[i] * h_prev[i];
-  c.h_cand = Affine2(wh_, uh_, bh_, x, rh);
-  for (int64_t i = 0; i < c.h_cand.size(); ++i) {
-    c.h_cand[i] = std::tanh(c.h_cand[i]);
+  for (int i = 0; i < hidden_size_; ++i) rh[i] = c->r[i] * h_prev[i];
+  c->h_cand = Affine2(wh_, uh_, bh_, x, rh);
+  for (int64_t i = 0; i < c->h_cand.size(); ++i) {
+    c->h_cand[i] = std::tanh(c->h_cand[i]);
   }
 
   Tensor h_new({hidden_size_});
   for (int i = 0; i < hidden_size_; ++i) {
-    h_new[i] = (1.0f - c.z[i]) * h_prev[i] + c.z[i] * c.h_cand[i];
+    h_new[i] = (1.0f - c->z[i]) * h_prev[i] + c->z[i] * c->h_cand[i];
   }
+  return h_new;
+}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev) {
+  StepCache c;
+  Tensor h_new = ComputeStep(x, h_prev, &c);
   cache_.push_back(std::move(c));
   return h_new;
+}
+
+Tensor GruCell::StepInfer(const Tensor& x, const Tensor& h_prev) const {
+  StepCache scratch;
+  return ComputeStep(x, h_prev, &scratch);
 }
 
 std::pair<Tensor, Tensor> GruCell::StepBackward(const Tensor& grad_h_new) {
@@ -390,6 +426,12 @@ Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
 Tensor Sequential::Forward(const Tensor& input) {
   Tensor x = input;
   for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Infer(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->Infer(x);
   return x;
 }
 

@@ -21,12 +21,19 @@ struct Parameter {
 /// stack so the same layer may be applied several times in one example
 /// (weight sharing across time steps or detections); Backward() must then be
 /// called once per Forward() in reverse order (LIFO).
+///
+/// Infer() computes the same output as Forward() without touching the
+/// activation cache, so it is const and safe to call concurrently from many
+/// threads on a shared trained model (training must stay single-threaded).
 class Layer {
  public:
   virtual ~Layer() = default;
 
   /// Runs the layer; pushes whatever Backward will need onto the cache.
   virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Inference-only pass: identical output to Forward, no cache mutation.
+  virtual Tensor Infer(const Tensor& input) const = 0;
 
   /// Pops the most recent forward cache, accumulates parameter gradients,
   /// and returns the gradient with respect to that forward's input.
@@ -46,6 +53,7 @@ class Conv2d : public Layer {
   Conv2d(int in_channels, int out_channels, int kernel, int stride, Rng* rng);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void ClearCache() override { cache_.clear(); }
@@ -66,6 +74,7 @@ class Linear : public Layer {
   Linear(int in_features, int out_features, Rng* rng);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void ClearCache() override { cache_.clear(); }
@@ -81,6 +90,7 @@ class Linear : public Layer {
 class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void ClearCache() override { cache_.clear(); }
 
@@ -92,6 +102,7 @@ class Relu : public Layer {
 class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void ClearCache() override { cache_.clear(); }
 
@@ -103,6 +114,7 @@ class Sigmoid : public Layer {
 class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void ClearCache() override { cache_.clear(); }
 
@@ -123,6 +135,10 @@ class GruCell {
   /// One recurrence step.
   Tensor Step(const Tensor& x, const Tensor& h_prev);
 
+  /// Inference-only recurrence step: identical output to Step, no cache
+  /// mutation (thread-safe on a shared trained cell).
+  Tensor StepInfer(const Tensor& x, const Tensor& h_prev) const;
+
   /// Backward for the most recent Step: given dL/dh', accumulates parameter
   /// gradients and returns (dL/dx, dL/dh_prev).
   std::pair<Tensor, Tensor> StepBackward(const Tensor& grad_h_new);
@@ -134,6 +150,11 @@ class GruCell {
   struct StepCache {
     Tensor x, h_prev, z, r, h_cand;
   };
+
+  /// Shared gate math for Step/StepInfer; fills `cache` with the
+  /// intermediates Backward needs.
+  Tensor ComputeStep(const Tensor& x, const Tensor& h_prev,
+                     StepCache* cache) const;
 
   int input_size_, hidden_size_;
   // Gate weights: each (hidden, input) and (hidden, hidden) plus bias.
@@ -152,6 +173,7 @@ class Sequential : public Layer {
   Sequential& Add(std::unique_ptr<Layer> layer);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void ClearCache() override;

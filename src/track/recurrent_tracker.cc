@@ -7,7 +7,8 @@
 
 namespace otif::track {
 
-RecurrentTracker::RecurrentTracker(models::TrackerNet* net, Options options)
+RecurrentTracker::RecurrentTracker(const models::TrackerNet* net,
+                                   Options options)
     : net_(net), options_(options) {
   OTIF_CHECK(net != nullptr);
   OTIF_CHECK_GT(options_.fps, 0);

@@ -27,8 +27,9 @@ class RecurrentTracker : public Tracker {
   };
 
   /// `net` must outlive the tracker and be trained; the tracker only runs
-  /// inference.
-  RecurrentTracker(models::TrackerNet* net, Options options);
+  /// inference (thread-safe on the shared net, so many trackers may share
+  /// one trained model across threads).
+  RecurrentTracker(const models::TrackerNet* net, Options options);
 
   void ProcessFrame(int frame, const FrameDetections& detections) override;
 
@@ -54,7 +55,7 @@ class RecurrentTracker : public Tracker {
     int misses = 0;
   };
 
-  models::TrackerNet* net_;  // Not owned.
+  const models::TrackerNet* net_;  // Not owned.
   Options options_;
   int64_t next_id_ = 0;
   int last_processed_frame_ = -1;

@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace otif {
+namespace {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("OTIF_WORKERS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool>& DefaultSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunOne(Batch* batch, int64_t index) {
+  (*batch->fn)(index);
+  const int64_t done = batch->completed.fetch_add(1) + 1;
+  if (done == batch->n) {
+    // Lock to pair with the waiter's predicate check before notifying.
+    { std::lock_guard<std::mutex> lock(mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  for (;;) {
+    const int64_t i = batch->next.fetch_add(1);
+    if (i >= batch->n) return;
+    RunOne(batch, i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        if (shutdown_) return true;
+        for (const auto& b : active_) {
+          if (b->next.load() < b->n) return true;
+        }
+        return false;
+      });
+      if (shutdown_) return;
+      for (const auto& b : active_) {
+        if (b->next.load() < b->n) {
+          batch = b;
+          break;
+        }
+      }
+    }
+    if (batch != nullptr) DrainBatch(batch.get());
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  // The caller participates: claim indices until none are left, then wait
+  // for in-flight indices on other threads.
+  DrainBatch(batch.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
+    active_.erase(std::find(active_.begin(), active_.end(), batch));
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  std::unique_ptr<ThreadPool>& slot = DefaultSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return slot.get();
+}
+
+void ThreadPool::SetDefaultThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  DefaultSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace otif

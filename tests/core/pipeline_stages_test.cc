@@ -1,0 +1,236 @@
+// Determinism tests for the staged pipeline executor: parallel execution
+// over the worker pool must reproduce the single-threaded results
+// bit-for-bit (tracks, simulated clock charges, coverage diagnostics).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/best_config.h"
+#include "core/pipeline.h"
+#include "core/proxy_cache.h"
+#include "models/detector.h"
+#include "query/queries.h"
+#include "sim/dataset.h"
+#include "sim/raster.h"
+#include "track/metrics.h"
+#include "util/thread_pool.h"
+
+namespace otif::core {
+namespace {
+
+std::vector<sim::Clip> MakeClips(int n = 3, int frames = 120) {
+  std::vector<sim::Clip> clips;
+  const sim::DatasetSpec spec = sim::MakeDataset(sim::DatasetId::kSynthetic);
+  for (int c = 0; c < n; ++c) {
+    clips.push_back(sim::SimulateClip(spec, sim::ClipSeed(spec, 1, c), frames));
+  }
+  return clips;
+}
+
+AccuracyFn CountAccuracyFn(const std::vector<sim::Clip>* clips) {
+  return [clips](const std::vector<std::vector<track::Track>>& per_clip) {
+    double sum = 0.0;
+    for (size_t c = 0; c < clips->size(); ++c) {
+      const int gt = query::GroundTruthVehicleCount((*clips)[c], 10);
+      const int est = query::CountVehicleTracks(per_clip[c], 10);
+      sum += track::CountAccuracy(est, gt);
+    }
+    return sum / static_cast<double>(clips->size());
+  };
+}
+
+/// Trained artifacts for the matrix: one lightly trained proxy (enough to
+/// produce non-trivial cell scores), a freshly seeded (deterministic)
+/// recurrent tracker net, and a hand-picked window set. No refiner: the
+/// refine path needs S*, which is out of scope for these tests.
+std::unique_ptr<TrainedModels> MakeTrained(
+    const std::vector<sim::Clip>& clips) {
+  auto trained = std::make_unique<TrainedModels>();
+  const auto resolutions = models::StandardProxyResolutions();
+  auto proxy = std::make_unique<models::ProxyModel>(resolutions[0], 1234);
+
+  models::SimulatedDetector detector(models::ArchByName(
+      models::StandardDetectorArchs(), "yolov3"));
+  sim::Rasterizer raster(&clips[0]);
+  int next_frame = 0;
+  auto sampler = [&]() {
+    const int f = next_frame;
+    next_frame = (next_frame + 7) % clips[0].num_frames();
+    models::ProxySample s;
+    s.frame = raster.Render(f, proxy->resolution().raster_w(),
+                            proxy->resolution().raster_h());
+    s.labels = proxy->MakeLabels(
+        models::FilterByConfidence(detector.Detect(clips[0], f, 1.0), 0.4),
+        clips[0].spec().width, clips[0].spec().height);
+    return s;
+  };
+  models::TrainProxyModel(proxy.get(), sampler, 24);
+  trained->proxies.push_back(std::move(proxy));
+  trained->tracker_net = std::make_unique<models::TrackerNet>(99);
+  trained->window_sizes = {WindowSize{64, 64}, WindowSize{128, 96},
+                           WindowSize{224, 160}};
+  return trained;
+}
+
+void ExpectIdentical(const EvalResult& a, const EvalResult& b) {
+  // Exact floating-point equality: the parallel schedule must not change a
+  // single bit of the accounting.
+  for (const models::CostCategory cat :
+       {models::CostCategory::kDecode, models::CostCategory::kProxy,
+        models::CostCategory::kDetect, models::CostCategory::kTrack,
+        models::CostCategory::kRefine}) {
+    EXPECT_EQ(a.clock.Seconds(cat), b.clock.Seconds(cat))
+        << "category " << static_cast<int>(cat);
+  }
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  ASSERT_EQ(a.tracks_per_clip.size(), b.tracks_per_clip.size());
+  for (size_t c = 0; c < a.tracks_per_clip.size(); ++c) {
+    const auto& ta = a.tracks_per_clip[c];
+    const auto& tb = b.tracks_per_clip[c];
+    ASSERT_EQ(ta.size(), tb.size()) << "clip " << c;
+    for (size_t t = 0; t < ta.size(); ++t) {
+      EXPECT_EQ(ta[t].id, tb[t].id);
+      EXPECT_EQ(ta[t].cls, tb[t].cls);
+      ASSERT_EQ(ta[t].detections.size(), tb[t].detections.size());
+      for (size_t d = 0; d < ta[t].detections.size(); ++d) {
+        const track::Detection& da = ta[t].detections[d];
+        const track::Detection& db = tb[t].detections[d];
+        EXPECT_EQ(da.frame, db.frame);
+        EXPECT_EQ(da.box.cx, db.box.cx);
+        EXPECT_EQ(da.box.cy, db.box.cy);
+        EXPECT_EQ(da.box.w, db.box.w);
+        EXPECT_EQ(da.box.h, db.box.h);
+        EXPECT_EQ(da.confidence, db.confidence);
+      }
+    }
+  }
+}
+
+class PipelineStagesDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetDefaultThreads(1); }
+
+  /// Evaluates `config` serially and with a 4-lane pool; both must agree
+  /// bit-for-bit. The proxy cache is cleared before each run so the
+  /// parallel pass exercises concurrent compute+insert, not just hits.
+  void CheckConfig(const PipelineConfig& config,
+                   const TrainedModels* trained) {
+    const auto fn = CountAccuracyFn(&clips_);
+    ThreadPool::SetDefaultThreads(1);
+    if (trained != nullptr) trained->proxy_cache.Clear();
+    const EvalResult serial = EvaluateConfig(config, trained, clips_, fn);
+    ThreadPool::SetDefaultThreads(4);
+    if (trained != nullptr) trained->proxy_cache.Clear();
+    const EvalResult parallel = EvaluateConfig(config, trained, clips_, fn);
+    ExpectIdentical(serial, parallel);
+  }
+
+  std::vector<sim::Clip> clips_ = MakeClips();
+};
+
+TEST_F(PipelineStagesDeterminismTest, SortNoProxy) {
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.use_proxy = false;
+  CheckConfig(config, nullptr);
+}
+
+TEST_F(PipelineStagesDeterminismTest, SortWithProxy) {
+  const auto trained = MakeTrained(clips_);
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.3;
+  config.sampling_gap = 2;
+  CheckConfig(config, trained.get());
+}
+
+TEST_F(PipelineStagesDeterminismTest, RecurrentNoProxy) {
+  const auto trained = MakeTrained(clips_);
+  PipelineConfig config;
+  config.tracker = TrackerKind::kRecurrent;
+  config.use_proxy = false;
+  config.sampling_gap = 4;
+  CheckConfig(config, trained.get());
+}
+
+TEST_F(PipelineStagesDeterminismTest, RecurrentWithProxy) {
+  const auto trained = MakeTrained(clips_);
+  PipelineConfig config;
+  config.tracker = TrackerKind::kRecurrent;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.3;
+  config.sampling_gap = 2;
+  CheckConfig(config, trained.get());
+}
+
+TEST_F(PipelineStagesDeterminismTest, ProxyCacheCountsHitsAcrossRuns) {
+  const auto trained = MakeTrained(clips_);
+  PipelineConfig config;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.3;
+  config.sampling_gap = 2;
+  const auto fn = CountAccuracyFn(&clips_);
+  trained->proxy_cache.Clear();
+  EvaluateConfig(config, trained.get(), clips_, fn);
+  const int64_t misses_first = trained->proxy_cache.misses();
+  EXPECT_GT(misses_first, 0);
+  EXPECT_GT(trained->proxy_cache.size(), 0u);
+  const int64_t hits_before = trained->proxy_cache.hits();
+  EvaluateConfig(config, trained.get(), clips_, fn);
+  // Second evaluation re-scores the same frames: all lookups hit.
+  EXPECT_EQ(trained->proxy_cache.misses(), misses_first);
+  EXPECT_GE(trained->proxy_cache.hits() - hits_before, misses_first);
+}
+
+TEST(ProxyScoreCacheTest, EvictsFifoAtCapacity) {
+  ProxyScoreCache cache(/*capacity=*/2);
+  int computes = 0;
+  auto make = [&](float v) {
+    return [&computes, v] {
+      ++computes;
+      nn::Tensor t({1});
+      t[0] = v;
+      return t;
+    };
+  };
+  EXPECT_EQ(cache.GetOrCompute({1, 0, 0}, make(1.0f))[0], 1.0f);
+  EXPECT_EQ(cache.GetOrCompute({2, 0, 0}, make(2.0f))[0], 2.0f);
+  EXPECT_EQ(cache.GetOrCompute({3, 0, 0}, make(3.0f))[0], 3.0f);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(computes, 3);
+  // Key 1 was evicted (FIFO) and recomputes; key 3 is still resident.
+  EXPECT_EQ(cache.GetOrCompute({1, 0, 0}, make(1.5f))[0], 1.5f);
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.GetOrCompute({3, 0, 0}, make(9.0f))[0], 3.0f);
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(ProxyScoreCacheTest, ConcurrentGetOrComputeIsConsistent) {
+  ProxyScoreCache cache;
+  ThreadPool pool(4);
+  std::vector<float> got(256, -1.0f);
+  pool.ParallelFor(256, [&](int64_t i) {
+    const int key = static_cast<int>(i % 16);
+    const nn::Tensor t = cache.GetOrCompute(
+        {7, key, 0}, [key] {
+          nn::Tensor v({1});
+          v[0] = static_cast<float>(key);
+          return v;
+        });
+    got[static_cast<size_t>(i)] = t[0];
+  });
+  for (int64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], static_cast<float>(i % 16));
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 256);
+}
+
+}  // namespace
+}  // namespace otif::core

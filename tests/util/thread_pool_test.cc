@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace otif {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  for (auto& c : counts) c.store(0);
+  pool.ParallelFor(1000, [&](int64_t i) {
+    counts[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8, [&](int64_t i) {
+    seen[static_cast<size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<int64_t> squares =
+      ParallelMap(&pool, 100, [](int64_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // Each outer task fans out again on the same pool; caller participation
+  // guarantees progress even when all workers are busy with outer tasks.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    pool.ParallelFor(8, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroAndEmptyBatches) {
+  ThreadPool pool(3);
+  int ran = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.ParallelFor(1, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsReplaceable) {
+  ThreadPool::SetDefaultThreads(2);
+  EXPECT_EQ(ThreadPool::Default()->num_threads(), 2);
+  std::atomic<int> total{0};
+  ThreadPool::Default()->ParallelFor(16, [&](int64_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 16);
+  ThreadPool::SetDefaultThreads(1);
+  EXPECT_EQ(ThreadPool::Default()->num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace otif

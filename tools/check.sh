@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: clean configure + build + full test suite, then a
+# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
+# proxy score cache, staged-pipeline determinism).
+#
+# Usage: tools/check.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure)
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "== skipping TSan pass (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: build concurrency tests =="
+cmake -B build-tsan -S . -DOTIF_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target util_test core_test
+
+echo "== tsan: run concurrency tests =="
+./build-tsan/tests/util_test --gtest_filter='ThreadPool*'
+./build-tsan/tests/core_test \
+  --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*'
+
+echo "== all checks passed =="
