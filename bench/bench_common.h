@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/otif.h"
+#include "util/logging.h"
 
 namespace otif::bench {
 
@@ -12,7 +13,11 @@ namespace otif::bench {
 /// one-minute clips per split; CPU budgets here default to a few short
 /// clips. OTIF_BENCH_SCALE=tiny shrinks further for smoke runs;
 /// OTIF_BENCH_SCALE=large grows toward the paper's setting.
+///
+/// Also applies OTIF_LOG_LEVEL (every bench main calls this first), so
+/// sweeps can silence or amplify the stderr log without a rebuild.
 inline core::RunScale BenchScale() {
+  InitLogLevelFromEnv();
   core::RunScale scale;
   scale.train_clips = 3;
   scale.valid_clips = 3;

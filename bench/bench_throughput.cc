@@ -1,7 +1,15 @@
 // Worker-count sweep over a fixed per-clip pipeline workload. Measures
 // wall-clock throughput of the parallel clip scheduler (clips processed per
-// second of real time — not simulated seconds) and emits JSON on stdout so
-// sweeps can be archived and diffed across machines.
+// second of real time — not simulated seconds) and emits a JSON run report
+// on stdout so sweeps can be archived and diffed across machines.
+//
+// The workload runs the proxy-enabled pipeline (untrained proxy weights:
+// deterministic per seed, and training quality is irrelevant to throughput)
+// so the report covers every execution stage plus the shared proxy score
+// cache. Per worker count the report carries the per-stage wall-clock
+// totals from the pipeline's telemetry spans, thread-pool utilization
+// (busy seconds / wall * lanes), and the proxy cache hit rate; the full
+// telemetry snapshot of the last sweep point is appended under "telemetry".
 //
 // Usage: bench_throughput [clips] [frames_per_clip]
 
@@ -9,12 +17,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "models/cost_model.h"
+#include "models/proxy.h"
 #include "sim/dataset.h"
+#include "util/logging.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -32,9 +46,22 @@ double RunOnce(const otif::core::Pipeline& pipeline,
   return std::chrono::duration<double>(end - start).count();
 }
 
+double StageWallSeconds(const otif::telemetry::TelemetrySnapshot& snapshot,
+                        otif::models::CostCategory category) {
+  const otif::telemetry::SpanSample* span = otif::telemetry::FindSpan(
+      snapshot, std::string("stage/") +
+                    otif::models::CostCategoryName(category));
+  return span != nullptr ? span->total_seconds : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  otif::InitLogLevelFromEnv();
+  // The report is built from telemetry; this bench measures instrumented
+  // throughput, so collection is always on regardless of OTIF_TELEMETRY.
+  otif::telemetry::SetEnabled(true);
+
   const int num_clips = argc > 1 ? std::atoi(argv[1]) : 16;
   const int frames = argc > 2 ? std::atoi(argv[2]) : 300;
 
@@ -46,8 +73,22 @@ int main(int argc, char** argv) {
         spec, otif::sim::ClipSeed(spec, 3, c), frames));
   }
 
-  otif::core::PipelineConfig config;  // Full-rate SORT: detector-dominated.
-  const otif::core::Pipeline pipeline(config, nullptr);
+  // Proxy-enabled SORT pipeline over a fixed (untrained, deterministic)
+  // proxy model: exercises decode/proxy/detect/track stages and the score
+  // cache without paying for training.
+  otif::core::TrainedModels trained;
+  const auto resolutions = otif::models::StandardProxyResolutions();
+  trained.proxies.push_back(std::make_unique<otif::models::ProxyModel>(
+      resolutions.back(), /*seed=*/1234));
+  // The largest window must cover the full frame (synthetic is 320x240).
+  trained.window_sizes = {otif::core::WindowSize{64, 64},
+                          otif::core::WindowSize{128, 96},
+                          otif::core::WindowSize{spec.width, spec.height}};
+  otif::core::PipelineConfig config;
+  config.use_proxy = true;
+  config.proxy_resolution_index = 0;
+  config.proxy_threshold = 0.3;
+  const otif::core::Pipeline pipeline(config, &trained);
 
   // Sweep 1, 2, 4 and the machine width (deduplicated, ascending).
   std::vector<int> worker_counts = {1, 2, 4};
@@ -61,21 +102,58 @@ int main(int argc, char** argv) {
   std::printf("{\n  \"benchmark\": \"pipeline_throughput\",\n");
   std::printf("  \"clips\": %d,\n  \"frames_per_clip\": %d,\n", num_clips,
               frames);
+  std::printf("  \"config\": \"%s\",\n", config.ToString().c_str());
   std::printf("  \"hardware_concurrency\": %d,\n  \"results\": [\n", hw);
+  otif::telemetry::TelemetrySnapshot snapshot;
   for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
     const int workers = worker_counts[wi];
     otif::ThreadPool::SetDefaultThreads(workers);
     RunOnce(pipeline, clips);  // Warm-up: fault in clip state and pages.
+    // Measure from a clean slate so the report covers exactly the measured
+    // repetitions of this sweep point.
+    otif::telemetry::ResetAll();
+    trained.proxy_cache.ResetCounters();
     double best = RunOnce(pipeline, clips);
+    double wall_sum = best;
     for (int rep = 0; rep < 2; ++rep) {
-      best = std::min(best, RunOnce(pipeline, clips));
+      const double seconds = RunOnce(pipeline, clips);
+      wall_sum += seconds;
+      best = std::min(best, seconds);
     }
+    snapshot = otif::telemetry::CaptureSnapshot();
+
+    const otif::telemetry::GaugeSample* busy =
+        otif::telemetry::FindGauge(snapshot, "threadpool.busy_seconds");
+    const otif::telemetry::CounterSample* tasks =
+        otif::telemetry::FindCounter(snapshot, "threadpool.tasks_executed");
+    const double utilization =
+        busy != nullptr && wall_sum > 0.0
+            ? busy->value / (wall_sum * workers)
+            : 0.0;
     std::printf(
-        "    {\"workers\": %d, \"seconds\": %.4f, \"clips_per_sec\": %.3f}%s\n",
-        workers, best, static_cast<double>(num_clips) / best,
+        "    {\"workers\": %d, \"seconds\": %.4f, \"clips_per_sec\": %.3f,\n"
+        "     \"utilization\": %.3f, \"tasks_executed\": %lld,\n",
+        workers, best, static_cast<double>(num_clips) / best, utilization,
+        tasks != nullptr ? static_cast<long long>(tasks->value) : 0LL);
+    std::printf(
+        "     \"stage_wall_seconds\": {\"decode\": %.4f, \"proxy\": %.4f, "
+        "\"detect\": %.4f, \"track\": %.4f, \"refine\": %.4f},\n",
+        StageWallSeconds(snapshot, otif::models::CostCategory::kDecode),
+        StageWallSeconds(snapshot, otif::models::CostCategory::kProxy),
+        StageWallSeconds(snapshot, otif::models::CostCategory::kDetect),
+        StageWallSeconds(snapshot, otif::models::CostCategory::kTrack),
+        StageWallSeconds(snapshot, otif::models::CostCategory::kRefine));
+    std::printf(
+        "     \"proxy_cache\": {\"hits\": %lld, \"misses\": %lld, "
+        "\"evictions\": %lld, \"hit_rate\": %.4f}}%s\n",
+        static_cast<long long>(trained.proxy_cache.hits()),
+        static_cast<long long>(trained.proxy_cache.misses()),
+        static_cast<long long>(trained.proxy_cache.evictions()),
+        trained.proxy_cache.hit_rate(),
         wi + 1 < worker_counts.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n  \"telemetry\": %s\n}\n",
+              otif::telemetry::SnapshotToJson(snapshot).c_str());
   otif::ThreadPool::SetDefaultThreads(1);
   return 0;
 }

@@ -1,13 +1,84 @@
 #include "core/pipeline.h"
 
+#include <array>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "core/stages.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace otif::core {
+namespace {
+
+/// Telemetry for one pipeline stage: a wall-clock span (driver-measured,
+/// covers BeginClip + per-frame work + EndClip) and a simulated-seconds
+/// accumulator fed from the run's SimClock. The five stages map 1:1 onto
+/// the first five cost categories, so Figure 6's breakdown and the live
+/// instrumentation read the same accumulators.
+struct StageTelemetry {
+  telemetry::SpanSite* span;
+  telemetry::Gauge* sim_seconds;
+};
+
+constexpr int kNumStages = 5;
+
+const std::array<StageTelemetry, kNumStages>& GetStageTelemetry() {
+  static const std::array<StageTelemetry, kNumStages> stages = [] {
+    std::array<StageTelemetry, kNumStages> out;
+    for (int i = 0; i < kNumStages; ++i) {
+      const char* name =
+          models::CostCategoryName(static_cast<models::CostCategory>(i));
+      out[static_cast<size_t>(i)] = {
+          telemetry::GetSpan(std::string("stage/") + name),
+          telemetry::MetricsRegistry::Global().GetGauge(
+              std::string("stage/") + name + ".sim_seconds")};
+    }
+    return out;
+  }();
+  return stages;
+}
+
+/// Run-level aggregates (per clip and across clips/configs).
+struct RunTelemetry {
+  telemetry::Counter* runs;
+  telemetry::Counter* frames;
+  telemetry::Counter* detections_kept;
+  telemetry::Histogram* run_sim_seconds;
+};
+
+const RunTelemetry& GetRunTelemetry() {
+  static const RunTelemetry t{
+      telemetry::MetricsRegistry::Global().GetCounter("pipeline.runs"),
+      telemetry::MetricsRegistry::Global().GetCounter("pipeline.frames"),
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "pipeline.detections_kept"),
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "pipeline.run_sim_seconds"),
+  };
+  return t;
+}
+
+/// Folds one finished run into the global registry. Observation only: must
+/// never influence the result (the telemetry on/off regression test pins
+/// this down).
+void RecordRunTelemetry(const PipelineResult& result) {
+  const auto& stages = GetStageTelemetry();
+  for (int i = 0; i < kNumStages; ++i) {
+    const double sec =
+        result.clock.Seconds(static_cast<models::CostCategory>(i));
+    if (sec > 0.0) stages[static_cast<size_t>(i)].sim_seconds->Add(sec);
+  }
+  const RunTelemetry& t = GetRunTelemetry();
+  t.runs->Add(1);
+  t.frames->Add(result.frames_processed);
+  t.detections_kept->Add(result.detections_kept);
+  t.run_sim_seconds->Record(result.clock.TotalSeconds());
+}
+
+}  // namespace
 
 std::string PipelineConfig::ToString() const {
   return StrFormat(
@@ -70,15 +141,30 @@ PipelineResult Pipeline::Run(const sim::Clip& clip) const {
   TrackStage track(config_, trained_, clip, &raster);
   RefineStage refine(config_, trained_, clip);
   Stage* const stages[] = {&decode, &proxy, &detect, &track, &refine};
+  const auto& stage_telemetry = GetStageTelemetry();
 
-  for (Stage* stage : stages) stage->BeginClip(&result);
+  // Each stage call runs under its stage's wall-clock span; the span sites
+  // aggregate (count, total, min, max) with relaxed atomics, so the
+  // per-frame cost is two clock reads per stage when telemetry is on and
+  // one relaxed load when it is off.
+  for (int s = 0; s < kNumStages; ++s) {
+    telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
+    stages[s]->BeginClip(&result);
+  }
   for (int f = 0; f < clip.num_frames(); f += config_.sampling_gap) {
     ++result.frames_processed;
     FrameContext ctx;
     ctx.frame = f;
-    for (Stage* stage : stages) stage->ProcessFrame(&ctx, &result);
+    for (int s = 0; s < kNumStages; ++s) {
+      telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
+      stages[s]->ProcessFrame(&ctx, &result);
+    }
   }
-  for (Stage* stage : stages) stage->EndClip(&result);
+  for (int s = 0; s < kNumStages; ++s) {
+    telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
+    stages[s]->EndClip(&result);
+  }
+  if (telemetry::Enabled()) RecordRunTelemetry(result);
   return result;
 }
 

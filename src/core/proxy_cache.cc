@@ -3,8 +3,31 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace otif::core {
+namespace {
+
+/// Global mirrors of the per-cache counters so cache behavior shows up in
+/// telemetry snapshots without plumbing cache pointers into report code.
+/// Written only when telemetry is enabled; the cache's own atomics stay the
+/// source of truth for its accessors.
+struct CacheTelemetry {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* evictions;
+};
+
+const CacheTelemetry& GetCacheTelemetry() {
+  static const CacheTelemetry t{
+      telemetry::MetricsRegistry::Global().GetCounter("proxy_cache.hits"),
+      telemetry::MetricsRegistry::Global().GetCounter("proxy_cache.misses"),
+      telemetry::MetricsRegistry::Global().GetCounter("proxy_cache.evictions"),
+  };
+  return t;
+}
+
+}  // namespace
 
 ProxyScoreCache::ProxyScoreCache(size_t capacity) : capacity_(capacity) {
   OTIF_CHECK_GE(capacity, 1u);
@@ -17,10 +40,12 @@ nn::Tensor ProxyScoreCache::GetOrCompute(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::Enabled()) GetCacheTelemetry().hits->Add(1);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) GetCacheTelemetry().misses->Add(1);
   nn::Tensor scores = compute();
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -30,6 +55,8 @@ nn::Tensor ProxyScoreCache::GetOrCompute(
     while (entries_.size() > capacity_) {
       entries_.erase(insertion_order_.front());
       insertion_order_.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::Enabled()) GetCacheTelemetry().evictions->Add(1);
     }
   }
   return scores;
@@ -39,6 +66,18 @@ void ProxyScoreCache::Clear() const {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   insertion_order_.clear();
+}
+
+void ProxyScoreCache::ResetCounters() const {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+double ProxyScoreCache::hit_rate() const {
+  const int64_t h = hits();
+  const int64_t lookups = h + misses();
+  return lookups > 0 ? static_cast<double>(h) / lookups : 0.0;
 }
 
 size_t ProxyScoreCache::size() const {

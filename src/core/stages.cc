@@ -6,6 +6,7 @@
 #include "track/metrics.h"
 #include "track/sort_tracker.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace otif::core {
 namespace {
@@ -81,16 +82,22 @@ void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   if (proxy_ == nullptr) return;
   const models::CostConstants& costs = models::DefaultCostConstants();
 
-  ctx->low_res_frame = raster_->Render(ctx->frame,
-                                       proxy_->resolution().raster_w(),
-                                       proxy_->resolution().raster_h());
+  {
+    OTIF_SPAN("proxy/render");
+    ctx->low_res_frame = raster_->Render(ctx->frame,
+                                         proxy_->resolution().raster_w(),
+                                         proxy_->resolution().raster_h());
+  }
   ctx->have_low_res_frame = true;
   // Cell scores are cached across tuner evaluations (many thresholds score
   // the same frames); the cache is shared and thread-safe.
   const ProxyScoreCache::Key key = std::make_tuple(
       clip_.clip_seed(), ctx->frame, config_.proxy_resolution_index);
-  const nn::Tensor scores = trained_->proxy_cache.GetOrCompute(
-      key, [&] { return proxy_->Score(ctx->low_res_frame); });
+  const nn::Tensor scores = [&] {
+    OTIF_SPAN("proxy/score");
+    return trained_->proxy_cache.GetOrCompute(
+        key, [&] { return proxy_->Score(ctx->low_res_frame); });
+  }();
   result->clock.Charge(
       models::CostCategory::kProxy,
       costs.proxy_sec_per_frame +
@@ -103,6 +110,7 @@ void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
     ctx->skip_detector = true;
     return;
   }
+  OTIF_SPAN("proxy/group_cells");
   const GroupingResult grouping =
       GroupCells(grid, scaled_sizes_, arch_, scaled_w_, scaled_h_);
   ctx->windowed_detect_seconds = grouping.est_seconds;
@@ -231,6 +239,7 @@ void RefineStage::EndClip(PipelineResult* result) {
     return;
   }
   const models::CostConstants& costs = models::DefaultCostConstants();
+  OTIF_SPAN("refine/refine_all");
   result->tracks = trained_->refiner->RefineAll(result->tracks);
   result->clock.Charge(
       models::CostCategory::kRefine,

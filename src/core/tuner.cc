@@ -7,6 +7,7 @@
 #include "track/metrics.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace otif::core {
 
@@ -29,6 +30,7 @@ Tuner::Tuner(const std::vector<sim::Clip>* validation,
 }
 
 void Tuner::CacheDetectionModule(const PipelineConfig& theta_best) {
+  OTIF_SPAN("tuner/cache_detection");
   // For every (architecture, resolution): runtime is analytic; accuracy is
   // measured on the validation set with other parameters from theta_best
   // (Sec 3.5.1).
@@ -66,6 +68,7 @@ void Tuner::CacheDetectionModule(const PipelineConfig& theta_best) {
 }
 
 void Tuner::CacheProxyModule(const PipelineConfig& theta_best) {
+  OTIF_SPAN("tuner/cache_proxy");
   // For every (resolution, threshold): score validation frames (cached in
   // TrainedModels), group cells into windows, and record the windowed
   // detector cost relative to a full-frame pass plus the recall against
@@ -269,29 +272,41 @@ std::vector<TunerPoint> Tuner::Run(const PipelineConfig& theta_best) {
     EvalResult r = EvaluateConfig(current, trained_, *validation_,
                                   accuracy_fn_);
     ++evaluations_;
-    curve.push_back({current, r.seconds, r.accuracy});
+    curve.push_back({current, r.seconds, r.accuracy, "init"});
   }
 
+  telemetry::Counter* const rounds =
+      telemetry::MetricsRegistry::Global().GetCounter("tuner.rounds");
+  telemetry::Counter* const eval_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("tuner.evaluations");
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    OTIF_SPAN("tuner/round");
     std::vector<PipelineConfig> candidates;
+    std::vector<const char*> modules;  // Proposing module, by candidate.
     PipelineConfig candidate;
     if (ProposeDetectionUpdate(current, &candidate)) {
       candidates.push_back(candidate);
+      modules.push_back("detection");
     }
     if (ProposeProxyUpdate(current, &candidate)) {
       candidates.push_back(candidate);
+      modules.push_back("proxy");
     }
     if (ProposeGapUpdate(current, &candidate)) {
       candidates.push_back(candidate);
+      modules.push_back("gap");
     }
     if (candidates.empty()) break;
+    if (telemetry::Enabled()) rounds->Add(1);
 
     // Evaluate the round's candidates concurrently; selecting the winner
     // scans results in candidate order, so ties resolve exactly as the
-    // serial loop did (first proposal wins).
+    // serial loop did (first proposal wins). The per-candidate wall-clock
+    // aggregates under tuner/evaluate (count = evaluations).
     const std::vector<EvalResult> results = ParallelMap(
         ThreadPool::Default(), static_cast<int64_t>(candidates.size()),
         [&](int64_t i) {
+          telemetry::ScopedSpan span(telemetry::GetSpan("tuner/evaluate"));
           return EvaluateConfig(candidates[static_cast<size_t>(i)], trained_,
                                 *validation_, accuracy_fn_);
         });
@@ -299,10 +314,21 @@ std::vector<TunerPoint> Tuner::Run(const PipelineConfig& theta_best) {
     TunerPoint best_point;
     for (size_t i = 0; i < candidates.size(); ++i) {
       ++evaluations_;
+      if (telemetry::Enabled()) eval_counter->Add(1);
       if (results[i].accuracy > best_accuracy) {
         best_accuracy = results[i].accuracy;
-        best_point = {candidates[i], results[i].seconds, results[i].accuracy};
+        best_point = {candidates[i], results[i].seconds, results[i].accuracy,
+                      modules[i]};
       }
+    }
+    OTIF_LOG(kDebug) << "tuner round " << iter << ": chose "
+                     << best_point.chosen_module << " update "
+                     << best_point.config.ToString() << " (accuracy "
+                     << best_point.val_accuracy << ")";
+    if (telemetry::Enabled()) {
+      telemetry::MetricsRegistry::Global()
+          .GetCounter(std::string("tuner.chosen.") + best_point.chosen_module)
+          ->Add(1);
     }
     curve.push_back(best_point);
     current = best_point.config;

@@ -15,6 +15,10 @@ struct TunerPoint {
   /// Simulated seconds to process the validation set under this config.
   double val_seconds = 0.0;
   double val_accuracy = 0.0;
+  /// Module whose update produced this point: "init" for theta_1, else
+  /// "detection", "proxy", or "gap". Mirrored into the telemetry counters
+  /// tuner.chosen.<module> for run reports.
+  std::string chosen_module = "init";
 };
 
 /// The OTIF joint parameter tuner (paper Sec 3.5). Starting from the

@@ -9,6 +9,7 @@
 #include "baselines/noscope.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace otif::eval {
 
@@ -18,6 +19,8 @@ double SecondsForQueries(const baselines::MethodPoint& point, int queries) {
 
 TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
                                          const ExperimentOptions& options) {
+  InitLogLevelFromEnv();
+  OTIF_SPAN("harness/experiment");
   TrackExperimentResult result;
   const TrackWorkload workload = MakeTrackWorkload(id);
   result.dataset = workload.spec.name;
@@ -35,8 +38,12 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
   // --- OTIF ---
   core::Tuner::Options tuner_options;
   OTIF_LOG(kInfo) << "[" << result.dataset << "] preparing OTIF";
-  result.otif->Prepare(valid_accuracy, tuner_options);
   {
+    telemetry::ScopedSpan span(telemetry::GetSpan("harness/prepare"));
+    result.otif->Prepare(valid_accuracy, tuner_options);
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::GetSpan("harness/execute_curve"));
     std::vector<baselines::MethodPoint> points;
     for (const core::TunerPoint& tp : result.otif->curve()) {
       core::EvalResult r =
@@ -86,9 +93,11 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
   std::vector<std::vector<baselines::MethodPoint>> curves = ParallelMap(
       ThreadPool::Default(), static_cast<int64_t>(to_run.size()),
       [&](int64_t i) {
-        return to_run[static_cast<size_t>(i)]->Run(*valid, *test,
-                                                   valid_accuracy,
-                                                   test_accuracy);
+        baselines::TrackBaseline* baseline = to_run[static_cast<size_t>(i)].get();
+        // Per-baseline span (dynamic name, so resolved per call).
+        telemetry::ScopedSpan span(
+            telemetry::GetSpan("harness/baseline/" + baseline->name()));
+        return baseline->Run(*valid, *test, valid_accuracy, test_accuracy);
       });
   for (size_t i = 0; i < to_run.size(); ++i) {
     result.curves[to_run[i]->name()] = std::move(curves[i]);

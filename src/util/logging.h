@@ -19,6 +19,17 @@ enum class LogLevel : int {
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
+/// Parses a severity name into *level: "debug", "info", "warning" (or
+/// "warn"), "error", "fatal" (case-insensitive), or a numeric 0-4. Returns
+/// false on anything else, leaving *level untouched.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Applies the OTIF_LOG_LEVEL environment variable via SetLogThreshold.
+/// Unset leaves the threshold unchanged; an unparsable value logs a warning
+/// and changes nothing. Returns true when a level was applied. Shared
+/// startup hook for benches, examples, and the eval harness.
+bool InitLogLevelFromEnv();
+
 namespace internal {
 
 /// Stream-style log message; emits on destruction. kFatal aborts.

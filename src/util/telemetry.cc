@@ -1,0 +1,245 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace otif::telemetry {
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("OTIF_TELEMETRY");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnabledFromEnv()};
+  return enabled;
+}
+
+/// Doubles in reports are formatted with enough digits to round-trip span
+/// totals but without printf's locale pitfalls.
+std::string JsonNumber(double v) { return StrFormat("%.9g", v); }
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    OTIF_CHECK_LT(bounds_[i], bounds_[i + 1]) << "bounds must ascend";
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+int64_t Histogram::bucket_count(size_t i) const {
+  OTIF_CHECK_LE(i, bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.Reset();
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+const CounterSample* FindCounter(const TelemetrySnapshot& snapshot,
+                                 const std::string& name) {
+  for (const CounterSample& s : snapshot.counters) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const GaugeSample* FindGauge(const TelemetrySnapshot& snapshot,
+                             const std::string& name) {
+  for (const GaugeSample& s : snapshot.gauges) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const SpanSample* FindSpan(const TelemetrySnapshot& snapshot,
+                           const std::string& name) {
+  for (const SpanSample& s : snapshot.spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: worker threads may still record during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+TelemetrySnapshot MetricsRegistry::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    for (size_t i = 0; i <= sample.bounds.size(); ++i) {
+      sample.buckets.push_back(histogram->bucket_count(i));
+    }
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string SnapshotToJson(const TelemetrySnapshot& snapshot) {
+  // Metric names are code-controlled identifiers (no quotes/backslashes),
+  // so they embed directly; keys within each section stay in name order.
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& s = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name << "\": " << s.value;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& s = snapshot.gauges[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
+        << "\": " << JsonNumber(s.value);
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& s = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
+        << "\": {\"count\": " << s.count << ", \"sum\": " << JsonNumber(s.sum)
+        << ", \"bounds\": [";
+    for (size_t b = 0; b < s.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << JsonNumber(s.bounds[b]);
+    }
+    out << "], \"buckets\": [";
+    for (size_t b = 0; b < s.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << s.buckets[b];
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "},\n  \"spans\": {";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanSample& s = snapshot.spans[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
+        << "\": {\"count\": " << s.count
+        << ", \"total_seconds\": " << JsonNumber(s.total_seconds)
+        << ", \"min_seconds\": " << JsonNumber(s.min_seconds)
+        << ", \"max_seconds\": " << JsonNumber(s.max_seconds) << "}";
+  }
+  out << (snapshot.spans.empty() ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+std::string SnapshotToTable(const TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  if (!snapshot.spans.empty()) {
+    TextTable spans({"span", "count", "total s", "min s", "max s"});
+    for (const SpanSample& s : snapshot.spans) {
+      spans.AddRow({s.name, StrFormat("%lld", static_cast<long long>(s.count)),
+                    StrFormat("%.4f", s.total_seconds),
+                    StrFormat("%.6f", s.min_seconds),
+                    StrFormat("%.6f", s.max_seconds)});
+    }
+    out << spans.ToString() << "\n";
+  }
+  if (!snapshot.counters.empty()) {
+    TextTable counters({"counter", "value"});
+    for (const CounterSample& s : snapshot.counters) {
+      counters.AddRow(
+          {s.name, StrFormat("%lld", static_cast<long long>(s.value))});
+    }
+    out << counters.ToString() << "\n";
+  }
+  if (!snapshot.gauges.empty()) {
+    TextTable gauges({"gauge", "value"});
+    for (const GaugeSample& s : snapshot.gauges) {
+      gauges.AddRow({s.name, StrFormat("%.6f", s.value)});
+    }
+    out << gauges.ToString() << "\n";
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable histograms({"histogram", "count", "sum", "mean"});
+    for (const HistogramSample& s : snapshot.histograms) {
+      histograms.AddRow(
+          {s.name, StrFormat("%lld", static_cast<long long>(s.count)),
+           StrFormat("%.4f", s.sum),
+           StrFormat("%.6f", s.count > 0 ? s.sum / s.count : 0.0)});
+    }
+    out << histograms.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace otif::telemetry

@@ -1,0 +1,178 @@
+#ifndef OTIF_UTIL_TELEMETRY_H_
+#define OTIF_UTIL_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace otif::telemetry {
+
+/// Whether telemetry collection is enabled. Initialized once from the
+/// OTIF_TELEMETRY environment variable ("off", "0", or "false" disable it;
+/// anything else, including unset, enables it) and overridable at runtime.
+/// Disabled-mode cost is a single relaxed atomic load at every
+/// instrumentation site: spans skip their clock reads and metric writers
+/// are bypassed by the call sites that guard on Enabled().
+bool Enabled();
+
+/// Overrides the enabled flag (benches and tests; not synchronized with
+/// in-flight spans, so flip it only between runs).
+void SetEnabled(bool enabled);
+
+/// Monotonically increasing integer metric (events, items processed).
+/// Updates are one relaxed atomic add: contention-free across the worker
+/// pool.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Double-valued metric: Set overwrites (instantaneous readings), Add
+/// accumulates via a CAS loop so concurrent writers never lose updates
+/// (seconds accumulators).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one extra overflow bucket catches everything above the last bound.
+/// Record is a bucket scan plus two relaxed atomic adds — no locks, safe
+/// from any number of threads.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  int64_t bucket_count(size_t i) const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  const std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds+1 slots.
+  std::atomic<int64_t> count_{0};
+  Gauge sum_;
+};
+
+/// Default histogram bounds for latencies in seconds: 1us .. 10s,
+/// decade-spaced.
+std::vector<double> DefaultLatencyBounds();
+
+// --- Snapshots ---------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;  // bounds.size() + 1 entries.
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Aggregate of one named span site (see trace.h): how often it ran and the
+/// wall-clock it accumulated.
+struct SpanSample {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name. Spans are
+/// populated by CaptureSnapshot() (trace.h); MetricsRegistry::Snapshot()
+/// alone leaves them empty.
+struct TelemetrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+};
+
+/// Lookup helpers for report builders; return nullptr when absent.
+const CounterSample* FindCounter(const TelemetrySnapshot& snapshot,
+                                 const std::string& name);
+const GaugeSample* FindGauge(const TelemetrySnapshot& snapshot,
+                             const std::string& name);
+const SpanSample* FindSpan(const TelemetrySnapshot& snapshot,
+                           const std::string& name);
+
+// --- Registry ----------------------------------------------------------------
+
+/// Process-wide, thread-safe registry of named metrics. Registration takes
+/// a lock; the returned pointers are stable for the process lifetime, so
+/// hot paths resolve a metric once (function-local static) and then update
+/// it lock-free. Metrics are never unregistered; Reset() zeroes values but
+/// keeps registrations.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked singleton: safe to use from worker
+  /// threads during shutdown).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Repeated calls with the same name return the same pointer; a
+  /// histogram's bounds are fixed by the first registration.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultLatencyBounds());
+
+  TelemetrySnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;      // mu_.
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;          // mu_.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // mu_.
+};
+
+// --- Exporters ---------------------------------------------------------------
+
+/// Renders a snapshot as a JSON object with "counters", "gauges",
+/// "histograms", and "spans" keys (stable name order, machine-readable).
+std::string SnapshotToJson(const TelemetrySnapshot& snapshot);
+
+/// Renders a snapshot as aligned text tables (one section per metric kind,
+/// empty sections omitted) for human-readable run reports.
+std::string SnapshotToTable(const TelemetrySnapshot& snapshot);
+
+}  // namespace otif::telemetry
+
+#endif  // OTIF_UTIL_TELEMETRY_H_

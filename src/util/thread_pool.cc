@@ -1,12 +1,54 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace otif {
 namespace {
+
+/// Pool-wide telemetry, resolved once. busy_seconds accumulates per-task
+/// execution time (inline path included), so
+///   utilization = busy_seconds / (wall_seconds * lanes)
+/// over any measurement interval. queue_depth samples the number of active
+/// batches whenever one is enqueued.
+struct PoolTelemetry {
+  telemetry::Counter* tasks;
+  telemetry::Counter* batches;
+  telemetry::Gauge* busy_seconds;
+  telemetry::Histogram* queue_depth;
+};
+
+const PoolTelemetry& GetPoolTelemetry() {
+  static const PoolTelemetry t{
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "threadpool.tasks_executed"),
+      telemetry::MetricsRegistry::Global().GetCounter("threadpool.batches"),
+      telemetry::MetricsRegistry::Global().GetGauge("threadpool.busy_seconds"),
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "threadpool.queue_depth", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}),
+  };
+  return t;
+}
+
+/// Runs one task, charging its wall-clock to the pool accumulators when
+/// telemetry is on.
+void RunTask(const std::function<void(int64_t)>& fn, int64_t index) {
+  if (!telemetry::Enabled()) {
+    fn(index);
+    return;
+  }
+  const PoolTelemetry& t = GetPoolTelemetry();
+  const auto start = std::chrono::steady_clock::now();
+  fn(index);
+  t.busy_seconds->Add(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  t.tasks->Add(1);
+}
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("OTIF_WORKERS")) {
@@ -43,7 +85,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunOne(Batch* batch, int64_t index) {
-  (*batch->fn)(index);
+  RunTask(*batch->fn, index);
   const int64_t done = batch->completed.fetch_add(1) + 1;
   if (done == batch->n) {
     // Lock to pair with the waiter's predicate check before notifying.
@@ -88,7 +130,8 @@ void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   if (workers_.empty() || n == 1) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    if (telemetry::Enabled()) GetPoolTelemetry().batches->Add(1);
+    for (int64_t i = 0; i < n; ++i) RunTask(fn, i);
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -97,6 +140,11 @@ void ThreadPool::ParallelFor(int64_t n,
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(batch);
+    if (telemetry::Enabled()) {
+      const PoolTelemetry& t = GetPoolTelemetry();
+      t.batches->Add(1);
+      t.queue_depth->Record(static_cast<double>(active_.size()));
+    }
   }
   work_cv_.notify_all();
 

@@ -1,0 +1,117 @@
+#include "util/trace.h"
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace otif::telemetry {
+namespace {
+
+/// Span sites, keyed by name. Separate from MetricsRegistry because sites
+/// aggregate four values atomically as one logical record and benches want
+/// them listed apart from plain metrics.
+class SpanRegistry {
+ public:
+  static SpanRegistry& Global() {
+    // Leaked: spans may close on worker threads during static destruction.
+    static SpanRegistry* registry = new SpanRegistry();
+    return *registry;
+  }
+
+  SpanSite* Get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<SpanSite>& slot = sites_[name];
+    if (slot == nullptr) slot = std::make_unique<SpanSite>(name);
+    return slot.get();
+  }
+
+  void AppendSamples(TelemetrySnapshot* snapshot) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, site] : sites_) {
+      snapshot->spans.push_back(site->Sample());
+    }
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, site] : sites_) site->Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<SpanSite>> sites_;  // Guarded by mu_.
+};
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+SpanSite::SpanSite(std::string name) : name_(std::move(name)) {
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void SpanSite::Record(double seconds) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&total_, seconds);
+  AtomicMin(&min_, seconds);
+  AtomicMax(&max_, seconds);
+}
+
+SpanSample SpanSite::Sample() const {
+  SpanSample sample;
+  sample.name = name_;
+  sample.count = count_.load(std::memory_order_relaxed);
+  sample.total_seconds = total_.load(std::memory_order_relaxed);
+  // min_ holds +inf until the first record; report 0 for an idle site.
+  const double min = min_.load(std::memory_order_relaxed);
+  sample.min_seconds = sample.count > 0 ? min : 0.0;
+  sample.max_seconds = max_.load(std::memory_order_relaxed);
+  return sample;
+}
+
+void SpanSite::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+SpanSite* GetSpan(const std::string& name) {
+  return SpanRegistry::Global().Get(name);
+}
+
+TelemetrySnapshot CaptureSnapshot() {
+  TelemetrySnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  SpanRegistry::Global().AppendSamples(&snapshot);
+  return snapshot;
+}
+
+void ResetAll() {
+  MetricsRegistry::Global().Reset();
+  SpanRegistry::Global().Reset();
+}
+
+}  // namespace otif::telemetry

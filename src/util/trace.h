@@ -1,0 +1,97 @@
+#ifndef OTIF_UTIL_TRACE_H_
+#define OTIF_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/telemetry.h"
+
+namespace otif::telemetry {
+
+/// Aggregation point for one named span: every ScopedSpan that closes over
+/// it folds its wall-clock duration in with relaxed atomics (count, total,
+/// min, max) — no locks, no per-event allocation, contention-free across
+/// the worker pool. Sites live in a process-wide registry keyed by name and
+/// are never destroyed.
+class SpanSite {
+ public:
+  explicit SpanSite(std::string name);
+
+  SpanSite(const SpanSite&) = delete;
+  SpanSite& operator=(const SpanSite&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Folds one completed span of `seconds` into the aggregate.
+  void Record(double seconds);
+
+  SpanSample Sample() const;
+  void Reset();
+
+ private:
+  const std::string name_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  std::atomic<double> min_{0.0};  // Set to +inf by the ctor until recorded.
+  std::atomic<double> max_{0.0};
+};
+
+/// Returns the span site registered under `name`, creating it on first use.
+/// The pointer is stable for the process lifetime; hot paths should resolve
+/// it once (OTIF_SPAN does this with a function-local static).
+SpanSite* GetSpan(const std::string& name);
+
+/// RAII span: samples the steady clock on construction and folds the
+/// elapsed wall-clock into `site` on destruction. When telemetry is
+/// disabled at construction the span is inert — no clock reads, no writes.
+/// Spans may nest freely (each records its own inclusive time).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite* site) {
+    if (Enabled()) {
+      site_ = site;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (site_ != nullptr) {
+      site_->Record(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSite* site_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Captures every metric *and* every span site, sorted by name.
+TelemetrySnapshot CaptureSnapshot();
+
+/// Zeroes all metrics and span aggregates (registrations survive). Call
+/// between benchmark repetitions so run reports do not accumulate.
+void ResetAll();
+
+#define OTIF_SPAN_CONCAT_INNER_(a, b) a##b
+#define OTIF_SPAN_CONCAT_(a, b) OTIF_SPAN_CONCAT_INNER_(a, b)
+
+/// Scoped wall-clock span over the rest of the enclosing block:
+///   OTIF_SPAN("detect");
+/// `name` must be constant at the call site (the site is resolved once into
+/// a function-local static); use GetSpan + ScopedSpan for dynamic names.
+#define OTIF_SPAN(name)                                                     \
+  static ::otif::telemetry::SpanSite* const OTIF_SPAN_CONCAT_(              \
+      otif_span_site_, __LINE__) = ::otif::telemetry::GetSpan(name);        \
+  ::otif::telemetry::ScopedSpan OTIF_SPAN_CONCAT_(otif_span_, __LINE__)(    \
+      OTIF_SPAN_CONCAT_(otif_span_site_, __LINE__))
+
+}  // namespace otif::telemetry
+
+#endif  // OTIF_UTIL_TRACE_H_

@@ -211,6 +211,45 @@ TEST(ProxyScoreCacheTest, EvictsFifoAtCapacity) {
   EXPECT_EQ(cache.misses(), 4);
 }
 
+TEST(ProxyScoreCacheTest, CountsEvictionsAndResetsCounters) {
+  ProxyScoreCache cache(/*capacity=*/2);
+  auto make = [](float v) {
+    return [v] {
+      nn::Tensor t({1});
+      t[0] = v;
+      return t;
+    };
+  };
+  cache.GetOrCompute({1, 0, 0}, make(1.0f));
+  cache.GetOrCompute({2, 0, 0}, make(2.0f));
+  cache.GetOrCompute({3, 0, 0}, make(3.0f));  // Evicts key 1.
+  cache.GetOrCompute({4, 0, 0}, make(4.0f));  // Evicts key 2.
+  cache.GetOrCompute({4, 0, 0}, make(9.0f));  // Hit.
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0 / 5.0);
+
+  // Clear drops entries but keeps counters (documented contract) ...
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.evictions(), 2);
+
+  // ... while ResetCounters starts a fresh measurement interval without
+  // touching the entries.
+  cache.GetOrCompute({5, 0, 0}, make(5.0f));
+  cache.ResetCounters();
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.GetOrCompute({5, 0, 0}, make(9.0f));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
 TEST(ProxyScoreCacheTest, ConcurrentGetOrComputeIsConsistent) {
   ProxyScoreCache cache;
   ThreadPool pool(4);

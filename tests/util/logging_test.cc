@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/status.h"
 
 namespace otif {
@@ -24,6 +26,51 @@ TEST(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
   };
   OTIF_LOG(kDebug) << count();
   EXPECT_EQ(evaluations, 0);
+  SetLogThreshold(prev);
+}
+
+TEST(ParseLogLevelTest, AcceptsNamesNumbersAndCase) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbageWithoutTouchingOutput) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, InitFromEnvAppliesAndIgnoresBadValues) {
+  const LogLevel prev = GetLogThreshold();
+
+  ASSERT_EQ(setenv("OTIF_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+
+  ASSERT_EQ(setenv("OTIF_LOG_LEVEL", "nonsense", /*overwrite=*/1), 0);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);  // Unchanged.
+
+  ASSERT_EQ(unsetenv("OTIF_LOG_LEVEL"), 0);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);  // Still unchanged.
+
   SetLogThreshold(prev);
 }
 

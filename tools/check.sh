@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: clean configure + build + full test suite, then a
-# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
-# proxy score cache, staged-pipeline determinism).
+# Tier-1 verification: clean configure + build + full test suite, a smoke
+# run of bench_throughput that validates the emitted JSON telemetry report,
+# then a ThreadSanitizer build of the concurrency-sensitive tests (thread
+# pool, telemetry registry/spans, proxy score cache, staged-pipeline
+# determinism).
 #
 # Usage: tools/check.sh [--skip-tsan]
 set -euo pipefail
@@ -22,6 +24,35 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure)
 
+echo "== smoke: bench_throughput telemetry report =="
+# One short sweep; stdout is the JSON run report (logs go to stderr).
+# Validate that it parses and carries the expected stage/telemetry keys.
+OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput 4 60 \
+  > build/throughput_report.json
+python3 - build/throughput_report.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["benchmark"] == "pipeline_throughput", report.get("benchmark")
+results = report["results"]
+assert results, "empty results"
+stage_keys = {"decode", "proxy", "detect", "track", "refine"}
+for entry in results:
+    assert set(entry["stage_wall_seconds"]) == stage_keys, entry
+    assert 0.0 <= entry["utilization"], entry
+    cache = entry["proxy_cache"]
+    for key in ("hits", "misses", "evictions", "hit_rate"):
+        assert key in cache, cache
+telemetry = report["telemetry"]
+for section in ("counters", "gauges", "histograms", "spans"):
+    assert section in telemetry, section
+assert "stage/detect" in telemetry["spans"], sorted(telemetry["spans"])
+assert "threadpool.tasks_executed" in telemetry["counters"]
+print("throughput report ok:", len(results), "sweep points")
+EOF
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== skipping TSan pass (--skip-tsan) =="
   exit 0
@@ -32,8 +63,8 @@ cmake -B build-tsan -S . -DOTIF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target util_test core_test
 
 echo "== tsan: run concurrency tests =="
-./build-tsan/tests/util_test --gtest_filter='ThreadPool*'
+./build-tsan/tests/util_test --gtest_filter='ThreadPool*:Telemetry*:Trace*'
 ./build-tsan/tests/core_test \
-  --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*'
+  --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*'
 
 echo "== all checks passed =="
