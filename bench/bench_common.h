@@ -6,18 +6,26 @@
 
 #include "core/otif.h"
 #include "util/logging.h"
+#include "util/trace_timeline.h"
 
 namespace otif::bench {
+
+/// The one startup hook every bench binary runs (directly or via
+/// BenchScale): applies OTIF_LOG_LEVEL and arms the timeline tracer /
+/// flight recorder from the environment (OTIF_TRACE_TIMELINE,
+/// OTIF_DUMP_ON_ERROR, ...). Keep per-binary env parsing out of bench
+/// mains — add shared switches here.
+inline void BenchInit() { InitObservabilityFromEnv(); }
 
 /// Experiment scale shared by the table/figure harnesses. Paper scale is 60
 /// one-minute clips per split; CPU budgets here default to a few short
 /// clips. OTIF_BENCH_SCALE=tiny shrinks further for smoke runs;
 /// OTIF_BENCH_SCALE=large grows toward the paper's setting.
 ///
-/// Also applies OTIF_LOG_LEVEL (every bench main calls this first), so
-/// sweeps can silence or amplify the stderr log without a rebuild.
+/// Also runs BenchInit() (every bench main reaches this first), so sweeps
+/// can silence the stderr log or capture a timeline without a rebuild.
 inline core::RunScale BenchScale() {
-  InitLogLevelFromEnv();
+  BenchInit();
   core::RunScale scale;
   scale.train_clips = 3;
   scale.valid_clips = 3;

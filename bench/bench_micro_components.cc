@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/cell_grouping.h"
 #include "models/proxy.h"
 #include "query/queries.h"
@@ -180,4 +181,12 @@ BENCHMARK(BM_LimitQueryPostProcess);
 }  // namespace
 }  // namespace otif
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared observability init runs first.
+int main(int argc, char** argv) {
+  otif::bench::BenchInit();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,8 +31,10 @@ int Main() {
   for (sim::DatasetId id : sim::AllPaperDatasets()) {
     eval::ExperimentOptions options;
     options.scale = scale;
-    const eval::TrackExperimentResult result =
+    StatusOr<eval::TrackExperimentResult> result_or =
         eval::RunTrackExperiment(id, options);
+    OTIF_CHECK(result_or.ok()) << result_or.status().ToString();
+    const eval::TrackExperimentResult& result = *result_or;
 
     std::vector<std::string> row1 = {result.dataset};
     std::vector<std::string> row5 = {result.dataset};

@@ -1,15 +1,21 @@
 // Worker-count sweep over a fixed per-clip pipeline workload. Measures
 // wall-clock throughput of the parallel clip scheduler (clips processed per
 // second of real time — not simulated seconds) and emits a JSON run report
-// on stdout so sweeps can be archived and diffed across machines.
+// on stdout so sweeps can be archived and diffed across machines
+// (tools/bench_baseline.py builds the perf baseline from it).
 //
 // The workload runs the proxy-enabled pipeline (untrained proxy weights:
 // deterministic per seed, and training quality is irrelevant to throughput)
 // so the report covers every execution stage plus the shared proxy score
 // cache. Per worker count the report carries the per-stage wall-clock
 // totals from the pipeline's telemetry spans, thread-pool utilization
-// (busy seconds / wall * lanes), and the proxy cache hit rate; the full
-// telemetry snapshot of the last sweep point is appended under "telemetry".
+// (busy seconds / wall * lanes), queue-depth percentiles, and the proxy
+// cache hit rate; the full telemetry snapshot of the last sweep point is
+// appended under "telemetry".
+//
+// With OTIF_TRACE_TIMELINE set (see bench::BenchInit) the sweep also
+// exports a Chrome trace-event timeline of every stage span, tagged with
+// clip ids across the worker threads.
 //
 // Usage: bench_throughput [clips] [frames_per_clip]
 
@@ -21,14 +27,16 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/pipeline.h"
 #include "models/cost_model.h"
 #include "models/proxy.h"
 #include "sim/dataset.h"
-#include "util/logging.h"
+#include "util/json_writer.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/trace_timeline.h"
 
 namespace {
 
@@ -37,7 +45,11 @@ double RunOnce(const otif::core::Pipeline& pipeline,
   const auto start = std::chrono::steady_clock::now();
   std::vector<otif::core::PipelineResult> results = otif::ParallelMap(
       otif::ThreadPool::Default(), static_cast<int64_t>(clips.size()),
-      [&](int64_t i) { return pipeline.Run(clips[static_cast<size_t>(i)]); });
+      [&](int64_t i) {
+        // Timeline attribution: this task is clip i.
+        otif::telemetry::timeline::ScopedContext ctx({.clip = i});
+        return pipeline.Run(clips[static_cast<size_t>(i)]);
+      });
   const auto end = std::chrono::steady_clock::now();
   // Keep the results observable so the work cannot be optimized away.
   int64_t total_tracks = 0;
@@ -54,10 +66,19 @@ double StageWallSeconds(const otif::telemetry::TelemetrySnapshot& snapshot,
   return span != nullptr ? span->total_seconds : 0.0;
 }
 
+const otif::telemetry::HistogramSample* FindHistogram(
+    const otif::telemetry::TelemetrySnapshot& snapshot,
+    const std::string& name) {
+  for (const otif::telemetry::HistogramSample& s : snapshot.histograms) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  otif::InitLogLevelFromEnv();
+  otif::bench::BenchInit();
   // The report is built from telemetry; this bench measures instrumented
   // throughput, so collection is always on regardless of OTIF_TELEMETRY.
   otif::telemetry::SetEnabled(true);
@@ -99,14 +120,16 @@ int main(int argc, char** argv) {
       std::unique(worker_counts.begin(), worker_counts.end()),
       worker_counts.end());
 
-  std::printf("{\n  \"benchmark\": \"pipeline_throughput\",\n");
-  std::printf("  \"clips\": %d,\n  \"frames_per_clip\": %d,\n", num_clips,
-              frames);
-  std::printf("  \"config\": \"%s\",\n", config.ToString().c_str());
-  std::printf("  \"hardware_concurrency\": %d,\n  \"results\": [\n", hw);
+  otif::JsonWriter report;
+  report.BeginObject();
+  report.Key("benchmark").Value("pipeline_throughput");
+  report.Key("clips").Value(num_clips);
+  report.Key("frames_per_clip").Value(frames);
+  report.Key("config").Value(config.ToString());
+  report.Key("hardware_concurrency").Value(hw);
+  report.Key("results").BeginArray();
   otif::telemetry::TelemetrySnapshot snapshot;
-  for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
-    const int workers = worker_counts[wi];
+  for (const int workers : worker_counts) {
     otif::ThreadPool::SetDefaultThreads(workers);
     RunOnce(pipeline, clips);  // Warm-up: fault in clip state and pages.
     // Measure from a clean slate so the report covers exactly the measured
@@ -130,30 +153,47 @@ int main(int argc, char** argv) {
         busy != nullptr && wall_sum > 0.0
             ? busy->value / (wall_sum * workers)
             : 0.0;
-    std::printf(
-        "    {\"workers\": %d, \"seconds\": %.4f, \"clips_per_sec\": %.3f,\n"
-        "     \"utilization\": %.3f, \"tasks_executed\": %lld,\n",
-        workers, best, static_cast<double>(num_clips) / best, utilization,
-        tasks != nullptr ? static_cast<long long>(tasks->value) : 0LL);
-    std::printf(
-        "     \"stage_wall_seconds\": {\"decode\": %.4f, \"proxy\": %.4f, "
-        "\"detect\": %.4f, \"track\": %.4f, \"refine\": %.4f},\n",
-        StageWallSeconds(snapshot, otif::models::CostCategory::kDecode),
-        StageWallSeconds(snapshot, otif::models::CostCategory::kProxy),
-        StageWallSeconds(snapshot, otif::models::CostCategory::kDetect),
-        StageWallSeconds(snapshot, otif::models::CostCategory::kTrack),
+    report.BeginObject();
+    report.Key("workers").Value(workers);
+    report.Key("seconds").Value(best);
+    report.Key("clips_per_sec").Value(static_cast<double>(num_clips) / best);
+    report.Key("utilization").Value(utilization);
+    report.Key("tasks_executed")
+        .Value(tasks != nullptr ? tasks->value : int64_t{0});
+    report.Key("stage_wall_seconds").BeginObject();
+    report.Key("decode").Value(
+        StageWallSeconds(snapshot, otif::models::CostCategory::kDecode));
+    report.Key("proxy").Value(
+        StageWallSeconds(snapshot, otif::models::CostCategory::kProxy));
+    report.Key("detect").Value(
+        StageWallSeconds(snapshot, otif::models::CostCategory::kDetect));
+    report.Key("track").Value(
+        StageWallSeconds(snapshot, otif::models::CostCategory::kTrack));
+    report.Key("refine").Value(
         StageWallSeconds(snapshot, otif::models::CostCategory::kRefine));
-    std::printf(
-        "     \"proxy_cache\": {\"hits\": %lld, \"misses\": %lld, "
-        "\"evictions\": %lld, \"hit_rate\": %.4f}}%s\n",
-        static_cast<long long>(trained.proxy_cache.hits()),
-        static_cast<long long>(trained.proxy_cache.misses()),
-        static_cast<long long>(trained.proxy_cache.evictions()),
-        trained.proxy_cache.hit_rate(),
-        wi + 1 < worker_counts.size() ? "," : "");
+    report.EndObject();
+    report.Key("queue_depth").BeginObject();
+    const otif::telemetry::HistogramSample* depth =
+        FindHistogram(snapshot, "threadpool.queue_depth");
+    const otif::telemetry::HistogramSample empty{};
+    const otif::telemetry::HistogramSample& d =
+        depth != nullptr ? *depth : empty;
+    report.Key("p50").Value(otif::telemetry::HistogramQuantile(d, 0.50));
+    report.Key("p90").Value(otif::telemetry::HistogramQuantile(d, 0.90));
+    report.Key("p99").Value(otif::telemetry::HistogramQuantile(d, 0.99));
+    report.EndObject();
+    report.Key("proxy_cache").BeginObject();
+    report.Key("hits").Value(trained.proxy_cache.hits());
+    report.Key("misses").Value(trained.proxy_cache.misses());
+    report.Key("evictions").Value(trained.proxy_cache.evictions());
+    report.Key("hit_rate").Value(trained.proxy_cache.hit_rate());
+    report.EndObject();
+    report.EndObject();
   }
-  std::printf("  ],\n  \"telemetry\": %s\n}\n",
-              otif::telemetry::SnapshotToJson(snapshot).c_str());
+  report.EndArray();
+  report.Key("telemetry").RawValue(otif::telemetry::SnapshotToJson(snapshot));
+  report.EndObject();
+  std::printf("%s\n", std::move(report).TakeString().c_str());
   otif::ThreadPool::SetDefaultThreads(1);
   return 0;
 }

@@ -9,9 +9,13 @@
 #include "core/otif.h"
 #include "eval/workload.h"
 #include "query/queries.h"
+#include "util/trace_timeline.h"
 
 int main() {
   using namespace otif;
+
+  // OTIF_LOG_LEVEL / OTIF_TRACE_TIMELINE / OTIF_DUMP_ON_ERROR.
+  InitObservabilityFromEnv();
 
   const eval::TrackWorkload workload =
       eval::MakeTrackWorkload(sim::DatasetId::kJackson);

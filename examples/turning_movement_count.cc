@@ -11,9 +11,13 @@
 #include "query/queries.h"
 #include "util/table.h"
 #include "util/strings.h"
+#include "util/trace_timeline.h"
 
 int main() {
   using namespace otif;
+
+  // OTIF_LOG_LEVEL / OTIF_TRACE_TIMELINE / OTIF_DUMP_ON_ERROR.
+  InitObservabilityFromEnv();
 
   const eval::TrackWorkload workload =
       eval::MakeTrackWorkload(sim::DatasetId::kTokyo);

@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/trace_timeline.h"
 
 namespace otif::core {
 
@@ -19,6 +20,9 @@ EvalResult EvaluateConfig(const PipelineConfig& config,
   std::vector<PipelineResult> per_clip =
       ParallelMap(ThreadPool::Default(), static_cast<int64_t>(clips.size()),
                   [&](int64_t i) {
+                    // Tag this task's timeline events with the clip index
+                    // (the tuner and harness evaluations all funnel here).
+                    telemetry::timeline::ScopedContext ctx({.clip = i});
                     return pipeline.Run(clips[static_cast<size_t>(i)]);
                   });
   EvalResult result;

@@ -126,6 +126,10 @@ double Pipeline::DecodeSecondsForClip(const sim::Clip& clip) const {
 }
 
 PipelineResult Pipeline::Run(const sim::Clip& clip) const {
+  // Umbrella span for the whole clip: on the timeline each clip shows as
+  // one block (tagged with the scheduler's clip-id context) containing the
+  // per-stage spans below.
+  OTIF_SPAN("pipeline/run");
   PipelineResult result;
   const models::DetectorArch arch = models::ArchByName(
       models::StandardDetectorArchs(), config_.detector_arch);

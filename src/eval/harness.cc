@@ -10,6 +10,7 @@
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/trace_timeline.h"
 
 namespace otif::eval {
 
@@ -17,9 +18,13 @@ double SecondsForQueries(const baselines::MethodPoint& point, int queries) {
   return point.reusable_seconds + point.query_seconds * queries;
 }
 
-TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
-                                         const ExperimentOptions& options) {
-  InitLogLevelFromEnv();
+namespace {
+
+/// The experiment body; the public wrapper routes failures through the
+/// flight recorder.
+StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
+    sim::DatasetId id, const ExperimentOptions& options) {
+  InitObservabilityFromEnv();
   OTIF_SPAN("harness/experiment");
   TrackExperimentResult result;
   const TrackWorkload workload = MakeTrackWorkload(id);
@@ -84,7 +89,7 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
     } else if (method == "centertrack") {
       baseline = std::make_unique<baselines::CenterTrack>();
     } else {
-      OTIF_CHECK(false) << "unknown method " << method;
+      return Status::InvalidArgument("unknown method \"" + method + "\"");
     }
     OTIF_LOG(kInfo) << "[" << result.dataset << "] running "
                     << baseline->name();
@@ -107,6 +112,17 @@ TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
     for (const baselines::MethodPoint& p : points) {
       result.best_accuracy = std::max(result.best_accuracy, p.accuracy);
     }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TrackExperimentResult> RunTrackExperiment(
+    sim::DatasetId id, const ExperimentOptions& options) {
+  StatusOr<TrackExperimentResult> result = RunTrackExperimentImpl(id, options);
+  if (!result.ok()) {
+    telemetry::timeline::ReportError(result.status(), "eval/harness");
   }
   return result;
 }

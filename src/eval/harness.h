@@ -9,6 +9,7 @@
 #include "baselines/baseline.h"
 #include "core/otif.h"
 #include "eval/workload.h"
+#include "util/status.h"
 
 namespace otif::eval {
 
@@ -39,9 +40,13 @@ struct ExperimentOptions {
                                       "catdet", "centertrack"};
 };
 
-/// Runs the full track-query experiment on one dataset.
-TrackExperimentResult RunTrackExperiment(sim::DatasetId id,
-                                         const ExperimentOptions& options);
+/// Runs the full track-query experiment on one dataset. Fails with
+/// InvalidArgument on an unknown method name in `options.methods`; a
+/// non-OK return also triggers the timeline flight recorder
+/// (timeline::ReportError) so postmortems carry the last trace events and
+/// a telemetry snapshot.
+StatusOr<TrackExperimentResult> RunTrackExperiment(
+    sim::DatasetId id, const ExperimentOptions& options);
 
 /// Runtime (seconds) of a method for Q queries, given its fastest point
 /// within tolerance: reusable_seconds + query_seconds * Q.

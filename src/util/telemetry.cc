@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -19,22 +20,32 @@ bool EnabledFromEnv() {
          std::strcmp(env, "false") != 0;
 }
 
-std::atomic<bool>& EnabledFlag() {
-  static std::atomic<bool> enabled{EnabledFromEnv()};
-  return enabled;
+std::atomic<uint32_t>& FlagsWord() {
+  static std::atomic<uint32_t> flags{EnabledFromEnv() ? kTelemetryFlag : 0u};
+  return flags;
 }
-
-/// Doubles in reports are formatted with enough digits to round-trip span
-/// totals but without printf's locale pitfalls.
-std::string JsonNumber(double v) { return StrFormat("%.9g", v); }
 
 }  // namespace
 
-bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+uint32_t Flags() { return FlagsWord().load(std::memory_order_relaxed); }
+
+bool Enabled() { return (Flags() & kTelemetryFlag) != 0; }
 
 void SetEnabled(bool enabled) {
-  EnabledFlag().store(enabled, std::memory_order_relaxed);
+  internal::SetFlag(kTelemetryFlag, enabled);
 }
+
+namespace internal {
+
+void SetFlag(uint32_t mask, bool enabled) {
+  if (enabled) {
+    FlagsWord().fetch_or(mask, std::memory_order_relaxed);
+  } else {
+    FlagsWord().fetch_and(~mask, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
 
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
@@ -75,6 +86,30 @@ void Histogram::Reset() {
 
 std::vector<double> DefaultLatencyBounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+double HistogramQuantile(const HistogramSample& sample, double q) {
+  if (sample.count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(sample.count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < sample.buckets.size(); ++i) {
+    const int64_t in_bucket = sample.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= sample.bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate toward.
+        return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+      }
+      const double lo = i > 0 ? sample.bounds[i - 1] : 0.0;
+      const double hi = sample.bounds[i];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  return sample.bounds.empty() ? 0.0 : sample.bounds.back();
 }
 
 const CounterSample* FindCounter(const TelemetrySnapshot& snapshot,
@@ -160,46 +195,47 @@ void MetricsRegistry::Reset() {
 }
 
 std::string SnapshotToJson(const TelemetrySnapshot& snapshot) {
-  // Metric names are code-controlled identifiers (no quotes/backslashes),
-  // so they embed directly; keys within each section stay in name order.
-  std::ostringstream out;
-  out << "{\n  \"counters\": {";
-  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
-    const CounterSample& s = snapshot.counters[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name << "\": " << s.value;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const CounterSample& s : snapshot.counters) {
+    w.Key(s.name).Value(s.value);
   }
-  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
-  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    const GaugeSample& s = snapshot.gauges[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
-        << "\": " << JsonNumber(s.value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const GaugeSample& s : snapshot.gauges) {
+    w.Key(s.name).Value(s.value);
   }
-  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
-  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
-    const HistogramSample& s = snapshot.histograms[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
-        << "\": {\"count\": " << s.count << ", \"sum\": " << JsonNumber(s.sum)
-        << ", \"bounds\": [";
-    for (size_t b = 0; b < s.bounds.size(); ++b) {
-      out << (b == 0 ? "" : ", ") << JsonNumber(s.bounds[b]);
-    }
-    out << "], \"buckets\": [";
-    for (size_t b = 0; b < s.buckets.size(); ++b) {
-      out << (b == 0 ? "" : ", ") << s.buckets[b];
-    }
-    out << "]}";
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const HistogramSample& s : snapshot.histograms) {
+    w.Key(s.name).BeginObject();
+    w.Key("count").Value(s.count);
+    w.Key("sum").Value(s.sum);
+    w.Key("p50").Value(HistogramQuantile(s, 0.50));
+    w.Key("p90").Value(HistogramQuantile(s, 0.90));
+    w.Key("p99").Value(HistogramQuantile(s, 0.99));
+    w.Key("bounds").BeginArray();
+    for (const double b : s.bounds) w.Value(b);
+    w.EndArray();
+    w.Key("buckets").BeginArray();
+    for (const int64_t b : s.buckets) w.Value(b);
+    w.EndArray();
+    w.EndObject();
   }
-  out << (snapshot.histograms.empty() ? "" : "\n  ") << "},\n  \"spans\": {";
-  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
-    const SpanSample& s = snapshot.spans[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << s.name
-        << "\": {\"count\": " << s.count
-        << ", \"total_seconds\": " << JsonNumber(s.total_seconds)
-        << ", \"min_seconds\": " << JsonNumber(s.min_seconds)
-        << ", \"max_seconds\": " << JsonNumber(s.max_seconds) << "}";
+  w.EndObject();
+  w.Key("spans").BeginObject();
+  for (const SpanSample& s : snapshot.spans) {
+    w.Key(s.name).BeginObject();
+    w.Key("count").Value(s.count);
+    w.Key("total_seconds").Value(s.total_seconds);
+    w.Key("min_seconds").Value(s.min_seconds);
+    w.Key("max_seconds").Value(s.max_seconds);
+    w.EndObject();
   }
-  out << (snapshot.spans.empty() ? "" : "\n  ") << "}\n}";
-  return out.str();
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).TakeString();
 }
 
 std::string SnapshotToTable(const TelemetrySnapshot& snapshot) {
@@ -230,12 +266,16 @@ std::string SnapshotToTable(const TelemetrySnapshot& snapshot) {
     out << gauges.ToString() << "\n";
   }
   if (!snapshot.histograms.empty()) {
-    TextTable histograms({"histogram", "count", "sum", "mean"});
+    TextTable histograms(
+        {"histogram", "count", "sum", "mean", "p50", "p90", "p99"});
     for (const HistogramSample& s : snapshot.histograms) {
       histograms.AddRow(
           {s.name, StrFormat("%lld", static_cast<long long>(s.count)),
            StrFormat("%.4f", s.sum),
-           StrFormat("%.6f", s.count > 0 ? s.sum / s.count : 0.0)});
+           StrFormat("%.6f", s.count > 0 ? s.sum / s.count : 0.0),
+           StrFormat("%.6f", HistogramQuantile(s, 0.50)),
+           StrFormat("%.6f", HistogramQuantile(s, 0.90)),
+           StrFormat("%.6f", HistogramQuantile(s, 0.99))});
     }
     out << histograms.ToString() << "\n";
   }

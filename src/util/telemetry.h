@@ -11,17 +11,31 @@
 
 namespace otif::telemetry {
 
-/// Whether telemetry collection is enabled. Initialized once from the
-/// OTIF_TELEMETRY environment variable ("off", "0", or "false" disable it;
-/// anything else, including unset, enables it) and overridable at runtime.
-/// Disabled-mode cost is a single relaxed atomic load at every
+/// Bit flags of the observability subsystems, packed into one atomic so an
+/// instrumentation site pays a single relaxed load to learn the state of
+/// all of them (the "everything off" cost contract).
+inline constexpr uint32_t kTelemetryFlag = 1u << 0;  // Aggregate metrics.
+inline constexpr uint32_t kTimelineFlag = 1u << 1;   // Event ring buffers.
+
+/// Current flag word (one relaxed atomic load).
+uint32_t Flags();
+
+/// Whether aggregate telemetry collection is enabled. Initialized once from
+/// the OTIF_TELEMETRY environment variable ("off", "0", or "false" disable
+/// it; anything else, including unset, enables it) and overridable at
+/// runtime. Disabled-mode cost is a single relaxed atomic load at every
 /// instrumentation site: spans skip their clock reads and metric writers
 /// are bypassed by the call sites that guard on Enabled().
 bool Enabled();
 
-/// Overrides the enabled flag (benches and tests; not synchronized with
+/// Overrides the telemetry flag (benches and tests; not synchronized with
 /// in-flight spans, so flip it only between runs).
 void SetEnabled(bool enabled);
+
+namespace internal {
+/// Sets or clears one flag bit (used by trace_timeline to arm collection).
+void SetFlag(uint32_t mask, bool enabled);
+}  // namespace internal
 
 /// Monotonically increasing integer metric (events, items processed).
 /// Updates are one relaxed atomic add: contention-free across the worker
@@ -120,6 +134,14 @@ struct TelemetrySnapshot {
   std::vector<SpanSample> spans;
 };
 
+/// Estimated q-quantile (q in [0, 1]) of a histogram sample: finds the
+/// bucket containing the quantile rank and interpolates linearly inside it
+/// (the first bucket interpolates from 0, matching the non-negative metrics
+/// the registry records). Ranks landing in the overflow bucket report the
+/// last finite bound — a lower bound on the true quantile. Returns 0 for an
+/// empty histogram.
+double HistogramQuantile(const HistogramSample& sample, double q);
+
 /// Lookup helpers for report builders; return nullptr when absent.
 const CounterSample* FindCounter(const TelemetrySnapshot& snapshot,
                                  const std::string& name);
@@ -167,10 +189,12 @@ class MetricsRegistry {
 
 /// Renders a snapshot as a JSON object with "counters", "gauges",
 /// "histograms", and "spans" keys (stable name order, machine-readable).
+/// Histogram entries carry "p50"/"p90"/"p99" estimates (HistogramQuantile).
 std::string SnapshotToJson(const TelemetrySnapshot& snapshot);
 
 /// Renders a snapshot as aligned text tables (one section per metric kind,
-/// empty sections omitted) for human-readable run reports.
+/// empty sections omitted) for human-readable run reports. Histogram rows
+/// include p50/p90/p99 columns.
 std::string SnapshotToTable(const TelemetrySnapshot& snapshot);
 
 }  // namespace otif::telemetry

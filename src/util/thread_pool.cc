@@ -85,6 +85,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunOne(Batch* batch, int64_t index) {
+  // Run under the submitter's trace context (no-op for the submitter
+  // itself; workers inherit it for the duration of the task).
+  telemetry::timeline::ScopedContext scope(batch->ctx);
   RunTask(*batch->fn, index);
   const int64_t done = batch->completed.fetch_add(1) + 1;
   if (done == batch->n) {
@@ -137,6 +140,7 @@ void ThreadPool::ParallelFor(int64_t n,
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->fn = &fn;
+  batch->ctx = telemetry::timeline::CurrentContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(batch);

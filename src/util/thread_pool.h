@@ -11,6 +11,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/trace_timeline.h"
+
 namespace otif {
 
 /// Fixed-size worker pool for embarrassingly parallel outer loops (per-clip
@@ -45,6 +47,13 @@ class ThreadPool {
 
   /// Runs fn(0..n-1) across the pool; returns when all calls completed.
   /// fn must not throw (the codebase aborts via CHECK instead).
+  ///
+  /// Trace-context propagation: the submitting thread's
+  /// timeline::CurrentContext() is captured with the batch and installed
+  /// around every task execution, so events a worker emits on behalf of
+  /// this batch are attributed to the submitter's clip — including through
+  /// nested ParallelFor fan-outs. A task may still narrow the context
+  /// itself (e.g. per-clip ScopedContext inside the body).
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   /// The process-wide default pool. Sized from the OTIF_WORKERS environment
@@ -60,6 +69,8 @@ class ThreadPool {
   struct Batch {
     int64_t n = 0;
     const std::function<void(int64_t)>* fn = nullptr;
+    /// Submitter's trace context, re-installed around each task.
+    telemetry::timeline::TraceContext ctx;
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> completed{0};
   };

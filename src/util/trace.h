@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/telemetry.h"
+#include "util/trace_timeline.h"
 
 namespace otif::telemetry {
 
@@ -44,15 +45,23 @@ class SpanSite {
 SpanSite* GetSpan(const std::string& name);
 
 /// RAII span: samples the steady clock on construction and folds the
-/// elapsed wall-clock into `site` on destruction. When telemetry is
-/// disabled at construction the span is inert — no clock reads, no writes.
-/// Spans may nest freely (each records its own inclusive time).
+/// elapsed wall-clock into `site` on destruction; when the timeline is
+/// armed it also emits begin/end events into the calling thread's ring
+/// (trace_timeline.h). With everything disabled at construction the span
+/// is inert — one relaxed atomic load (the shared flag word), no clock
+/// reads, no writes. Spans may nest freely (each records its own inclusive
+/// time).
 class ScopedSpan {
  public:
   explicit ScopedSpan(SpanSite* site) {
-    if (Enabled()) {
+    const uint32_t flags = Flags();
+    if (flags & kTelemetryFlag) {
       site_ = site;
       start_ = std::chrono::steady_clock::now();
+    }
+    if (flags & kTimelineFlag) {
+      timeline_site_ = site;
+      timeline::EmitBegin(site);
     }
   }
 
@@ -62,6 +71,7 @@ class ScopedSpan {
                         std::chrono::steady_clock::now() - start_)
                         .count());
     }
+    if (timeline_site_ != nullptr) timeline::EmitEnd(timeline_site_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -69,6 +79,7 @@ class ScopedSpan {
 
  private:
   SpanSite* site_ = nullptr;
+  const SpanSite* timeline_site_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 };
 

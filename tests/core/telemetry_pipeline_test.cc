@@ -19,6 +19,7 @@
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/trace_timeline.h"
 
 namespace otif::core {
 namespace {
@@ -90,14 +91,20 @@ void ExpectIdentical(const EvalResult& a, const EvalResult& b) {
 
 class PipelineTelemetryTest : public ::testing::Test {
  protected:
-  void SetUp() override { previous_enabled_ = telemetry::Enabled(); }
+  void SetUp() override {
+    previous_enabled_ = telemetry::Enabled();
+    previous_timeline_ = telemetry::timeline::CollectionEnabled();
+  }
   void TearDown() override {
     telemetry::SetEnabled(previous_enabled_);
+    telemetry::timeline::SetCollectionEnabled(previous_timeline_);
+    telemetry::timeline::ClearEvents();
     ThreadPool::SetDefaultThreads(1);
   }
 
   std::vector<sim::Clip> clips_ = MakeClips();
   bool previous_enabled_ = true;
+  bool previous_timeline_ = false;
 };
 
 TEST_F(PipelineTelemetryTest, OutputsBitForBitIdenticalOnVsOff) {
@@ -122,6 +129,29 @@ TEST_F(PipelineTelemetryTest, OutputsBitForBitIdenticalOnVsOff) {
     const EvalResult on = EvaluateConfig(config, t, clips_, fn);
     ExpectIdentical(off, on);
   }
+}
+
+TEST_F(PipelineTelemetryTest, OutputsBitForBitIdenticalTimelineOnVsOff) {
+  // Same guard for the timeline tracer: ring-buffer event emission across
+  // the worker pool must not change a single bit of the outputs.
+  const auto trained = MakeUntrainedProxy();
+  const auto fn = CountAccuracyFn(&clips_);
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.3;
+  config.sampling_gap = 2;
+  ThreadPool::SetDefaultThreads(3);
+
+  telemetry::timeline::SetCollectionEnabled(false);
+  trained->proxy_cache.Clear();
+  const EvalResult off = EvaluateConfig(config, trained.get(), clips_, fn);
+  telemetry::timeline::SetCollectionEnabled(true);
+  trained->proxy_cache.Clear();
+  const EvalResult on = EvaluateConfig(config, trained.get(), clips_, fn);
+  telemetry::timeline::SetCollectionEnabled(false);
+  EXPECT_FALSE(telemetry::timeline::SnapshotEvents().empty());
+  ExpectIdentical(off, on);
 }
 
 TEST_F(PipelineTelemetryTest, StageSimSecondsMatchTheRunClock) {

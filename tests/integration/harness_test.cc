@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "eval/harness.h"
+#include "util/logging.h"
 
 namespace otif::eval {
 namespace {
@@ -20,10 +23,27 @@ const TrackExperimentResult& SharedResult() {
     options.scale.tracker_train_steps = 400;
     options.scale.proxy_resolutions = 2;
     options.methods = {"miris", "chameleon"};
-    return new TrackExperimentResult(
-        RunTrackExperiment(sim::DatasetId::kSynthetic, options));
+    StatusOr<TrackExperimentResult> result_or =
+        RunTrackExperiment(sim::DatasetId::kSynthetic, options);
+    OTIF_CHECK(result_or.ok()) << result_or.status().ToString();
+    return new TrackExperimentResult(std::move(result_or).value());
   }();
   return *result;
+}
+
+TEST(HarnessErrorTest, UnknownMethodReturnsInvalidArgument) {
+  ExperimentOptions options;
+  options.scale.train_clips = 1;
+  options.scale.valid_clips = 1;
+  options.scale.test_clips = 1;
+  options.scale.clip_seconds = 5;
+  options.scale.proxy_train_steps = 10;
+  options.scale.tracker_train_steps = 10;
+  options.methods = {"no_such_method"};
+  const StatusOr<TrackExperimentResult> result =
+      RunTrackExperiment(sim::DatasetId::kSynthetic, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(HarnessIntegrationTest, RunsAllRequestedMethods) {

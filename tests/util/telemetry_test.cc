@@ -205,6 +205,42 @@ TEST(TraceTest, CaptureSnapshotIncludesSpans) {
   EXPECT_EQ(span->count, 1);
 }
 
+TEST(TelemetryQuantileTest, InterpolatesWithinBuckets) {
+  // 100 values uniformly spread over (0, 10) across bounds {5, 10} — bucket
+  // midpoints, so none sits on a bound: 50 per bucket. Linear interpolation
+  // puts p50 at the first bound and p90 at 10 * 0.9.
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.uniform", {5.0, 10.0});
+  for (int i = 0; i < 100; ++i) hist->Record((i + 0.5) / 10.0);
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  const HistogramSample& sample = snapshot.histograms.at(0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.90), 9.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.25), 2.5);
+  // The first bucket interpolates from zero.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.10), 1.0);
+}
+
+TEST(TelemetryQuantileTest, EdgeCases) {
+  // Empty histogram: every quantile is zero.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(HistogramSample{}, 0.5), 0.0);
+
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.overflow", {1.0, 2.0});
+  hist->Record(0.5);
+  hist->Record(100.0);  // Lands in the unbounded overflow bucket.
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  const HistogramSample& sample = snapshot.histograms.at(0);
+  // Quantiles that fall in the overflow bucket clamp to the last finite
+  // bound rather than inventing an upper edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.99), 2.0);
+  // Quantiles are clamped into [0, 1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, -0.5),
+                   HistogramQuantile(sample, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 1.5),
+                   HistogramQuantile(sample, 1.0));
+}
+
 TEST(TelemetryExportTest, JsonContainsAllSections) {
   MetricsRegistry registry;
   registry.GetCounter("json.counter")->Add(3);
@@ -218,6 +254,10 @@ TEST(TelemetryExportTest, JsonContainsAllSections) {
   EXPECT_NE(json.find("\"json.gauge\": 0.5"), std::string::npos);
   EXPECT_NE(json.find("\"json.histogram\""), std::string::npos);
   EXPECT_NE(json.find("\"buckets\": [0, 1]"), std::string::npos);
+  // Exporters surface percentiles for every histogram.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
   EXPECT_NE(json.find("\"json.span\""), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 1.5"), std::string::npos);
 }
@@ -232,12 +272,16 @@ TEST(TelemetryExportTest, TableListsEveryMetric) {
   MetricsRegistry registry;
   registry.GetCounter("table.counter")->Add(1);
   registry.GetGauge("table.gauge")->Set(2.0);
+  registry.GetHistogram("table.histogram", {1.0, 4.0})->Record(2.0);
   TelemetrySnapshot snapshot = registry.Snapshot();
   snapshot.spans.push_back({"table.span", 1, 0.25, 0.25, 0.25});
   const std::string table = SnapshotToTable(snapshot);
   EXPECT_NE(table.find("table.counter"), std::string::npos);
   EXPECT_NE(table.find("table.gauge"), std::string::npos);
+  EXPECT_NE(table.find("table.histogram"), std::string::npos);
   EXPECT_NE(table.find("table.span"), std::string::npos);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
 }
 
 }  // namespace

@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification: clean configure + build + full test suite, a smoke
 # run of bench_throughput that validates the emitted JSON telemetry report,
-# then a ThreadSanitizer build of the concurrency-sensitive tests (thread
-# pool, telemetry registry/spans, proxy score cache, staged-pipeline
-# determinism).
+# a timeline-trace capture validated as Chrome trace-event JSON, a
+# mechanics test of the perf-baseline regression gate (self-compare must
+# pass, a perturbed baseline must fail), then a ThreadSanitizer build of
+# the concurrency-sensitive tests (thread pool, telemetry registry/spans,
+# timeline ring buffers, proxy score cache, staged-pipeline determinism).
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-tsan] [--compare-baseline]
+#   --compare-baseline  additionally re-measures and diffs against the
+#                       committed BENCH_baseline.json (exits non-zero on
+#                       regression; tolerance via OTIF_BASELINE_TOL).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+COMPARE_BASELINE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --compare-baseline) COMPARE_BASELINE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,6 +49,8 @@ stage_keys = {"decode", "proxy", "detect", "track", "refine"}
 for entry in results:
     assert set(entry["stage_wall_seconds"]) == stage_keys, entry
     assert 0.0 <= entry["utilization"], entry
+    for key in ("p50", "p90", "p99"):
+        assert key in entry["queue_depth"], entry
     cache = entry["proxy_cache"]
     for key in ("hits", "misses", "evictions", "hit_rate"):
         assert key in cache, cache
@@ -50,8 +59,71 @@ for section in ("counters", "gauges", "histograms", "spans"):
     assert section in telemetry, section
 assert "stage/detect" in telemetry["spans"], sorted(telemetry["spans"])
 assert "threadpool.tasks_executed" in telemetry["counters"]
+for hist in telemetry["histograms"].values():
+    for key in ("p50", "p90", "p99"):
+        assert key in hist, hist
 print("throughput report ok:", len(results), "sweep points")
 EOF
+
+echo "== smoke: timeline trace capture (Chrome trace-event JSON) =="
+OTIF_LOG_LEVEL=warning OTIF_TRACE_TIMELINE=build/timeline_trace.json \
+  ./build/bench/bench_throughput 4 60 > /dev/null
+python3 - build/timeline_trace.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+events = trace["traceEvents"]
+assert events, "empty trace"
+assert all(e["ph"] in ("B", "E") for e in events)
+assert all(isinstance(e["ts"], (int, float)) for e in events)
+# Stage spans must carry clip attribution across more than one thread.
+stage_b = [e for e in events
+           if e["ph"] == "B" and e["name"].startswith("stage/")]
+assert stage_b, sorted({e["name"] for e in events})
+tagged = [e for e in stage_b if e.get("args", {}).get("clip", -1) >= 0]
+assert tagged, "no stage span carries a clip id"
+assert len({e["tid"] for e in tagged}) > 1, "clip context only on one thread"
+print(f"timeline trace ok: {len(events)} events, "
+      f"{len({e['tid'] for e in events})} threads, "
+      f"{len({e['args']['clip'] for e in tagged})} clips tagged")
+EOF
+
+echo "== smoke: perf-baseline gate mechanics =="
+# Deterministic self-test of the regression gate: record and compare from
+# the same captured reports (must pass), then perturb the baseline and
+# expect the compare to fail.
+OTIF_LOG_LEVEL=warning OTIF_BENCH_JSON=build/fig6_cost.json \
+  OTIF_BENCH_SCALE=tiny ./build/bench/bench_fig6_cost_breakdown > /dev/null
+python3 tools/bench_baseline.py record --out build/BENCH_selftest.json \
+  --from-throughput build/throughput_report.json \
+  --from-cost build/fig6_cost.json
+python3 tools/bench_baseline.py compare --baseline build/BENCH_selftest.json \
+  --from-throughput build/throughput_report.json \
+  --from-cost build/fig6_cost.json > /dev/null
+python3 - build/BENCH_selftest.json build/BENCH_perturbed.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)
+for entry in baseline["throughput"].values():
+    entry["clips_per_sec"] *= 10.0  # pretend we used to be 10x faster
+with open(sys.argv[2], "w") as f:
+    json.dump(baseline, f)
+EOF
+if python3 tools/bench_baseline.py compare \
+    --baseline build/BENCH_perturbed.json \
+    --from-throughput build/throughput_report.json \
+    --from-cost build/fig6_cost.json > /dev/null; then
+  echo "ERROR: baseline gate failed to flag a synthetic 10x regression" >&2
+  exit 1
+fi
+echo "baseline gate ok: self-compare passed, synthetic regression flagged"
+
+if [[ "$COMPARE_BASELINE" == "1" ]]; then
+  echo "== perf: compare against committed BENCH_baseline.json =="
+  python3 tools/bench_baseline.py compare --baseline BENCH_baseline.json
+fi
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== skipping TSan pass (--skip-tsan) =="
@@ -63,7 +135,8 @@ cmake -B build-tsan -S . -DOTIF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target util_test core_test
 
 echo "== tsan: run concurrency tests =="
-./build-tsan/tests/util_test --gtest_filter='ThreadPool*:Telemetry*:Trace*'
+./build-tsan/tests/util_test \
+  --gtest_filter='ThreadPool*:Telemetry*:Trace*:TraceTimeline*'
 ./build-tsan/tests/core_test \
   --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*'
 
