@@ -7,6 +7,8 @@
 #include "bench/bench_common.h"
 #include "core/cell_grouping.h"
 #include "models/proxy.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
 #include "query/queries.h"
 #include "sim/raster.h"
 #include "track/hungarian.h"
@@ -79,6 +81,62 @@ void BM_ProxyInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProxyInference);
+
+void BM_ProxyInferenceBatched(benchmark::State& state) {
+  // The batched proxy path used by ProxyStage::ProcessBatch: one network
+  // invocation over N rasterized frames.
+  models::ProxyModel proxy(models::StandardProxyResolutions()[4], 1);
+  sim::Rasterizer raster(&BenchClip());
+  const int n = static_cast<int>(state.range(0));
+  std::vector<video::Image> frames;
+  std::vector<const video::Image*> ptrs;
+  for (int f = 0; f < n; ++f) {
+    frames.push_back(raster.Render(f, proxy.resolution().raster_w(),
+                                   proxy.resolution().raster_h()));
+  }
+  for (const video::Image& f : frames) ptrs.push_back(&f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.ScoreBatch(ptrs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProxyInferenceBatched)->Arg(8);
+
+// Conv engine at detector-typical window shapes: the im2col+GEMM inference
+// path versus the naive reference loops it replaced. The acceptance gate is
+// GEMM >= 3x naive at these shapes (see BENCH_baseline notes).
+nn::Conv2d& DetectorShapeConv() {
+  static Rng rng(3);
+  static nn::Conv2d conv(16, 32, 3, 1, &rng);
+  return conv;
+}
+
+nn::Tensor DetectorShapeInput() {
+  Rng rng(4);
+  nn::Tensor t({16, 64, 64});
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+void BM_ConvNaive(benchmark::State& state) {
+  nn::Conv2d& conv = DetectorShapeConv();
+  const nn::Tensor input = DetectorShapeInput();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.InferReference(input));
+  }
+}
+BENCHMARK(BM_ConvNaive);
+
+void BM_ConvGemm(benchmark::State& state) {
+  nn::Conv2d& conv = DetectorShapeConv();
+  const nn::Tensor input = DetectorShapeInput();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Infer(input));
+  }
+}
+BENCHMARK(BM_ConvGemm);
 
 void BM_CellGrouping(benchmark::State& state) {
   Rng rng(5);

@@ -83,11 +83,11 @@ void RecordRunTelemetry(const PipelineResult& result) {
 std::string PipelineConfig::ToString() const {
   return StrFormat(
       "arch=%s scale=%.2f conf=%.2f proxy=%s(res=%d thr=%.2f) gap=%d "
-      "tracker=%s refine=%d",
+      "batch=%d tracker=%s refine=%d",
       detector_arch.c_str(), detector_scale, detector_confidence,
       use_proxy ? "on" : "off", proxy_resolution_index, proxy_threshold,
-      sampling_gap, tracker == TrackerKind::kSort ? "sort" : "recurrent",
-      refine ? 1 : 0);
+      sampling_gap, frame_batch,
+      tracker == TrackerKind::kSort ? "sort" : "recurrent", refine ? 1 : 0);
 }
 
 std::vector<double> StandardDetectorScales() {
@@ -108,6 +108,7 @@ std::vector<double> StandardProxyThresholds() {
 Pipeline::Pipeline(PipelineConfig config, const TrainedModels* trained)
     : config_(std::move(config)), trained_(trained) {
   OTIF_CHECK_GE(config_.sampling_gap, 1);
+  OTIF_CHECK_GE(config_.frame_batch, 1);
   OTIF_CHECK_GT(config_.detector_scale, 0.0);
   OTIF_CHECK_LE(config_.detector_scale, 1.0);
   if (trained_ == nullptr) {
@@ -155,13 +156,28 @@ PipelineResult Pipeline::Run(const sim::Clip& clip) const {
     telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
     stages[s]->BeginClip(&result);
   }
-  for (int f = 0; f < clip.num_frames(); f += config_.sampling_gap) {
-    ++result.frames_processed;
-    FrameContext ctx;
-    ctx.frame = f;
+  // Sampled frames run through the stages in batches: each stage sees a
+  // group of frame_batch consecutive contexts per call, so batched stages
+  // issue one model invocation per group while unbatched stages fall back
+  // to the per-frame loop. One stage span per batch instead of per frame.
+  std::vector<FrameContext> ctxs;
+  ctxs.reserve(static_cast<size_t>(config_.frame_batch));
+  for (int f = 0; f < clip.num_frames();) {
+    ctxs.clear();
+    for (int b = 0; b < config_.frame_batch && f < clip.num_frames();
+         ++b, f += config_.sampling_gap) {
+      FrameContext ctx;
+      ctx.frame = f;
+      ctxs.push_back(std::move(ctx));
+      ++result.frames_processed;
+    }
+    // Pointers are built after the fill: growing ctxs would invalidate them.
+    std::vector<FrameContext*> batch;
+    batch.reserve(ctxs.size());
+    for (FrameContext& ctx : ctxs) batch.push_back(&ctx);
     for (int s = 0; s < kNumStages; ++s) {
       telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
-      stages[s]->ProcessFrame(&ctx, &result);
+      stages[s]->ProcessBatch(batch, &result);
     }
   }
   for (int s = 0; s < kNumStages; ++s) {

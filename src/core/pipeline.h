@@ -43,6 +43,11 @@ struct PipelineConfig {
   // --- Tracking module ---
   /// Sampling gap g: process 1 in every g frames (power of two).
   int sampling_gap = 1;
+  /// Frames per stage batch: the driver hands consecutive sampled frames to
+  /// each stage in groups of this size, letting the proxy and detector run
+  /// one batched model invocation per group instead of one per frame.
+  /// 1 reproduces strictly per-frame execution.
+  int frame_batch = 8;
   TrackerKind tracker = TrackerKind::kSort;
   /// Apply cluster-based start/end refinement (fixed cameras only).
   bool refine = false;

@@ -62,6 +62,39 @@ nn::Tensor ProxyScoreCache::GetOrCompute(
   return scores;
 }
 
+bool ProxyScoreCache::Lookup(const Key& key, nn::Tensor* out) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::Enabled()) GetCacheTelemetry().hits->Add(1);
+      *out = it->second;
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) GetCacheTelemetry().misses->Add(1);
+  return false;
+}
+
+nn::Tensor ProxyScoreCache::Insert(const Key& key, nn::Tensor value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(key, std::move(value));
+  if (inserted) {
+    insertion_order_.push_back(key);
+    while (entries_.size() > capacity_) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::Enabled()) GetCacheTelemetry().evictions->Add(1);
+    }
+    // The sweep never erases the fresh key: it sits at the back of the
+    // insertion order and capacity_ >= 1, so `it` stays valid.
+  }
+  return it->second;
+}
+
 void ProxyScoreCache::Clear() const {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

@@ -40,6 +40,14 @@ class ProxyScoreCache {
   nn::Tensor GetOrCompute(const Key& key,
                           const std::function<nn::Tensor()>& compute) const;
 
+  /// Batched-miss protocol: Lookup probes the cache (counting a hit or a
+  /// miss) without computing; the caller scores all missing keys in one
+  /// batched model invocation and stores them with Insert. Insert follows
+  /// the same first-write-wins rule as GetOrCompute and returns the entry
+  /// actually stored under the key.
+  bool Lookup(const Key& key, nn::Tensor* out) const;
+  nn::Tensor Insert(const Key& key, nn::Tensor value) const;
+
   /// Drops all entries. Counters are kept *by design*: Clear is used to
   /// bound memory between phases while hit/miss/evict statistics keep
   /// describing the whole session. Call ResetCounters() to start a fresh

@@ -1,5 +1,6 @@
 #include "core/stages.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -78,26 +79,9 @@ ProxyStage::ProxyStage(const PipelineConfig& config,
   scaled_h_ = clip_.spec().height * scale;
 }
 
-void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
-  if (proxy_ == nullptr) return;
+void ProxyStage::PublishWindows(const nn::Tensor& scores, FrameContext* ctx,
+                                PipelineResult* result) {
   const models::CostConstants& costs = models::DefaultCostConstants();
-
-  {
-    OTIF_SPAN("proxy/render");
-    ctx->low_res_frame = raster_->Render(ctx->frame,
-                                         proxy_->resolution().raster_w(),
-                                         proxy_->resolution().raster_h());
-  }
-  ctx->have_low_res_frame = true;
-  // Cell scores are cached across tuner evaluations (many thresholds score
-  // the same frames); the cache is shared and thread-safe.
-  const ProxyScoreCache::Key key = std::make_tuple(
-      clip_.clip_seed(), ctx->frame, config_.proxy_resolution_index);
-  const nn::Tensor scores = [&] {
-    OTIF_SPAN("proxy/score");
-    return trained_->proxy_cache.GetOrCompute(
-        key, [&] { return proxy_->Score(ctx->low_res_frame); });
-  }();
   result->clock.Charge(
       models::CostCategory::kProxy,
       costs.proxy_sec_per_frame +
@@ -114,9 +98,78 @@ void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   const GroupingResult grouping =
       GroupCells(grid, scaled_sizes_, arch_, scaled_w_, scaled_h_);
   ctx->windowed_detect_seconds = grouping.est_seconds;
+  ctx->window_sizes.reserve(grouping.windows.size());
+  for (const PlacedWindow& w : grouping.windows) {
+    ctx->window_sizes.push_back(w.size);
+  }
   ctx->windows = WindowsToNativeRects(grouping, scaled_w_, scaled_h_,
                                       grid.grid_w, grid.grid_h,
                                       config_.detector_scale);
+}
+
+void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
+  if (proxy_ == nullptr) return;
+  {
+    OTIF_SPAN("proxy/render");
+    ctx->low_res_frame = raster_->Render(ctx->frame,
+                                         proxy_->resolution().raster_w(),
+                                         proxy_->resolution().raster_h());
+  }
+  ctx->have_low_res_frame = true;
+  // Cell scores are cached across tuner evaluations (many thresholds score
+  // the same frames); the cache is shared and thread-safe.
+  const ProxyScoreCache::Key key = std::make_tuple(
+      clip_.clip_seed(), ctx->frame, config_.proxy_resolution_index);
+  const nn::Tensor scores = [&] {
+    OTIF_SPAN("proxy/score");
+    return trained_->proxy_cache.GetOrCompute(
+        key, [&] { return proxy_->Score(ctx->low_res_frame); });
+  }();
+  PublishWindows(scores, ctx, result);
+}
+
+void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,
+                              PipelineResult* result) {
+  if (proxy_ == nullptr) return;
+  // Render every frame up front so the cache misses can be scored in one
+  // batched network invocation.
+  for (FrameContext* ctx : batch) {
+    OTIF_SPAN("proxy/render");
+    ctx->low_res_frame = raster_->Render(ctx->frame,
+                                         proxy_->resolution().raster_w(),
+                                         proxy_->resolution().raster_h());
+    ctx->have_low_res_frame = true;
+  }
+
+  std::vector<nn::Tensor> scores(batch.size());
+  std::vector<size_t> missing;
+  {
+    OTIF_SPAN("proxy/score");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const ProxyScoreCache::Key key =
+          std::make_tuple(clip_.clip_seed(), batch[i]->frame,
+                          config_.proxy_resolution_index);
+      if (!trained_->proxy_cache.Lookup(key, &scores[i])) missing.push_back(i);
+    }
+    if (!missing.empty()) {
+      std::vector<const video::Image*> frames;
+      frames.reserve(missing.size());
+      for (size_t i : missing) frames.push_back(&batch[i]->low_res_frame);
+      std::vector<nn::Tensor> fresh = proxy_->ScoreBatch(frames);
+      for (size_t m = 0; m < missing.size(); ++m) {
+        const size_t i = missing[m];
+        const ProxyScoreCache::Key key =
+            std::make_tuple(clip_.clip_seed(), batch[i]->frame,
+                            config_.proxy_resolution_index);
+        scores[i] =
+            trained_->proxy_cache.Insert(key, std::move(fresh[m]));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PublishWindows(scores[i], batch[i], result);
+  }
 }
 
 // --- DetectStage ------------------------------------------------------------
@@ -149,6 +202,89 @@ void DetectStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   ctx->detections =
       models::FilterByConfidence(ctx->detections, config_.detector_confidence);
   result->detections_kept += static_cast<int64_t>(ctx->detections.size());
+}
+
+void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
+                               PipelineResult* result) {
+  const double scale = config_.detector_scale;
+  const models::DetectorArch& arch = detector_.arch();
+
+  // Partition the batch: windowed frames and full frames become batched
+  // detector invocations; proxy-empty frames skip the detector.
+  std::vector<FrameContext*> windowed, full;
+  for (FrameContext* ctx : batch) {
+    if (ctx->proxy_ran) {
+      if (!ctx->skip_detector) windowed.push_back(ctx);
+    } else {
+      full.push_back(ctx);
+    }
+  }
+
+  if (!windowed.empty()) {
+    // Windows come from the fixed trained size set W, so the batch's
+    // windows group into few distinct shapes; each shape batches into one
+    // detector invocation (uniform input shape), amortizing the
+    // per-invocation overhead that the unbatched path pays per window.
+    double pixel_seconds = 0.0;
+    std::vector<WindowSize> shapes;
+    std::vector<int> frames;
+    frames.reserve(windowed.size());
+    for (FrameContext* ctx : windowed) {
+      frames.push_back(ctx->frame);
+      for (const WindowSize& s : ctx->window_sizes) {
+        pixel_seconds +=
+            arch.sec_per_pixel * static_cast<double>(s.w) * s.h;
+        if (std::find(shapes.begin(), shapes.end(), s) == shapes.end()) {
+          shapes.push_back(s);
+        }
+      }
+    }
+    result->clock.Charge(
+        models::CostCategory::kDetect,
+        pixel_seconds +
+            arch.sec_per_invocation * static_cast<double>(shapes.size()));
+    const std::vector<track::FrameDetections> dets =
+        detector_.DetectBatch(clip_, frames, scale);
+    for (size_t i = 0; i < windowed.size(); ++i) {
+      windowed[i]->detections =
+          models::FilterByWindows(dets[i], windowed[i]->windows);
+    }
+  }
+
+  if (!full.empty()) {
+    // Full frames all share one input shape: one invocation for the batch.
+    const double pixel_seconds_per_frame =
+        arch.sec_per_pixel * clip_.spec().width * scale *
+        clip_.spec().height * scale;
+    result->clock.Charge(
+        models::CostCategory::kDetect,
+        pixel_seconds_per_frame * static_cast<double>(full.size()) +
+            arch.sec_per_invocation);
+    std::vector<int> frames;
+    frames.reserve(full.size());
+    for (FrameContext* ctx : full) frames.push_back(ctx->frame);
+    std::vector<track::FrameDetections> dets =
+        detector_.DetectBatch(clip_, frames, scale);
+    for (size_t i = 0; i < full.size(); ++i) {
+      full[i]->detections = std::move(dets[i]);
+    }
+  }
+
+  // Coverage and the confidence filter run in frame order, exactly as the
+  // per-frame path would.
+  for (FrameContext* ctx : batch) {
+    if (ctx->proxy_ran) {
+      coverage_sum_ += ctx->skip_detector
+                           ? 1.0
+                           : track::DetectionCoverage(
+                                 clip_.GroundTruthDetections(ctx->frame),
+                                 ctx->windows);
+      ++coverage_frames_;
+    }
+    ctx->detections = models::FilterByConfidence(ctx->detections,
+                                                 config_.detector_confidence);
+    result->detections_kept += static_cast<int64_t>(ctx->detections.size());
+  }
 }
 
 void DetectStage::EndClip(PipelineResult* result) {

@@ -37,7 +37,12 @@ struct FrameContext {
   bool have_low_res_frame = false;
   /// Native-coordinate detector windows covering positive proxy cells.
   std::vector<geom::BBox> windows;
-  /// Simulated cost of running the detector inside `windows`.
+  /// Detector-resolution sizes of the placed windows (drawn from the fixed
+  /// trained set W, scaled). DetectStage's batched path uses these to count
+  /// distinct window shapes when amortizing per-invocation overhead.
+  std::vector<WindowSize> window_sizes;
+  /// Simulated cost of running the detector inside `windows` one window
+  /// per invocation (the unbatched reference charge).
   double windowed_detect_seconds = 0.0;
 
   // --- Written by DetectStage ---
@@ -48,10 +53,13 @@ struct FrameContext {
 /// One stage of the per-clip execution pipeline. Stages are constructed per
 /// Pipeline::Run call (per-task scope: they hold no state shared across
 /// clips or threads) and driven in a fixed order:
-///   BeginClip -> ProcessFrame (per sampled frame) -> EndClip.
-/// Stages communicate through the FrameContext and charge their simulated
-/// costs to the PipelineResult clock; no stage reaches into another's
-/// internals.
+///   BeginClip -> ProcessBatch (per batch of sampled frames) -> EndClip.
+/// The driver groups consecutive sampled frames into batches of
+/// PipelineConfig::frame_batch contexts; ProcessBatch defaults to calling
+/// ProcessFrame on each context in frame order, so stages without a batched
+/// implementation behave exactly as before. Stages communicate through the
+/// FrameContext and charge their simulated costs to the PipelineResult
+/// clock; no stage reaches into another's internals.
 class Stage {
  public:
   virtual ~Stage() = default;
@@ -61,6 +69,14 @@ class Stage {
 
   /// Per-frame work; reads/writes the shared FrameContext.
   virtual void ProcessFrame(FrameContext* ctx, PipelineResult* result) = 0;
+
+  /// Batched work over consecutive sampled frames (frame order). Override
+  /// to amortize work across the batch (batched model invocations); the
+  /// default is the sequential per-frame loop.
+  virtual void ProcessBatch(const std::vector<FrameContext*>& batch,
+                            PipelineResult* result) {
+    for (FrameContext* ctx : batch) ProcessFrame(ctx, result);
+  }
 
   /// Clip-level teardown: emit tracks, aggregate diagnostics.
   virtual void EndClip(PipelineResult* result) { (void)result; }
@@ -94,7 +110,19 @@ class ProxyStage : public Stage {
 
   void ProcessFrame(FrameContext* ctx, PipelineResult* result) override;
 
+  /// Batched proxy pass: renders every frame, then scores all cache-missed
+  /// frames in a single batched network invocation before grouping cells
+  /// per frame. Identical per-frame results to ProcessFrame.
+  void ProcessBatch(const std::vector<FrameContext*>& batch,
+                    PipelineResult* result) override;
+
  private:
+  /// Shared post-scoring work: charge the proxy cost, threshold cells, and
+  /// group them into detector windows for one frame.
+  void PublishWindows(const nn::Tensor& scores, FrameContext* ctx,
+                      PipelineResult* result);
+
+
   const PipelineConfig& config_;
   const TrainedModels* trained_;  // Null iff the proxy is disabled.
   const sim::Clip& clip_;
@@ -118,6 +146,16 @@ class DetectStage : public Stage {
               const models::DetectorArch& arch);
 
   void ProcessFrame(FrameContext* ctx, PipelineResult* result) override;
+
+  /// Batched detect pass: aggregates the batch's frames into one detector
+  /// invocation per group (windowed frames batch per distinct window shape,
+  /// full frames share one shape), charging the per-invocation overhead
+  /// once per group instead of once per window/frame. Detections are
+  /// bit-identical to the per-frame path; only the simulated overhead
+  /// charge is amortized.
+  void ProcessBatch(const std::vector<FrameContext*>& batch,
+                    PipelineResult* result) override;
+
   void EndClip(PipelineResult* result) override;
 
  private:

@@ -1,5 +1,6 @@
 #include "models/proxy.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "util/logging.h"
@@ -64,6 +65,39 @@ nn::Tensor ProxyModel::Score(const video::Image& frame) const {
     probs[i] = nn::StableSigmoid(logits[i]);
   }
   return probs;
+}
+
+std::vector<nn::Tensor> ProxyModel::ScoreBatch(
+    const std::vector<const video::Image*>& frames) const {
+  std::vector<nn::Tensor> out;
+  out.reserve(frames.size());
+  if (frames.empty()) return out;
+  const int rh = resolution_.raster_h(), rw = resolution_.raster_w();
+  const int nb = static_cast<int>(frames.size());
+  nn::Tensor batch({nb, 1, rh, rw});
+  const size_t plane = static_cast<size_t>(rh) * rw;
+  for (int b = 0; b < nb; ++b) {
+    OTIF_CHECK(frames[b] != nullptr);
+    const nn::Tensor one = ImageToTensor(*frames[b]);
+    std::copy(one.data(), one.data() + plane, batch.data() + b * plane);
+  }
+  nn::Tensor logits = net_.Infer(batch);
+  OTIF_CHECK_EQ(logits.ndim(), 4);
+  OTIF_CHECK_EQ(logits.dim(0), nb);
+  OTIF_CHECK_EQ(logits.dim(1), 1);
+  OTIF_CHECK_EQ(logits.dim(2), resolution_.grid_h());
+  OTIF_CHECK_EQ(logits.dim(3), resolution_.grid_w());
+  const size_t cells = static_cast<size_t>(resolution_.grid_h()) *
+                       resolution_.grid_w();
+  for (int b = 0; b < nb; ++b) {
+    nn::Tensor probs({resolution_.grid_h(), resolution_.grid_w()});
+    const float* src = logits.data() + b * cells;
+    for (size_t i = 0; i < cells; ++i) {
+      probs[static_cast<int64_t>(i)] = nn::StableSigmoid(src[i]);
+    }
+    out.push_back(std::move(probs));
+  }
+  return out;
 }
 
 double ProxyModel::TrainStep(const video::Image& frame,

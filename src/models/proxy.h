@@ -58,6 +58,12 @@ class ProxyModel {
   /// model are safe (training must stay single-threaded).
   nn::Tensor Score(const video::Image& frame) const;
 
+  /// Batched Score: one network invocation over a (N, 1, H, W) stack of
+  /// rasterized frames. Element i of the result is bit-identical to
+  /// Score(frames[i]). Thread-safe like Score.
+  std::vector<nn::Tensor> ScoreBatch(
+      const std::vector<const video::Image*>& frames) const;
+
   /// One training step on (frame, cell labels); returns the BCE loss.
   /// `labels` must be (grid_h, grid_w) with 0/1 entries.
   double TrainStep(const video::Image& frame, const nn::Tensor& labels);

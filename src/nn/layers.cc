@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/arena.h"
+#include "nn/gemm.h"
+
 namespace otif::nn {
 namespace {
 
@@ -35,12 +38,51 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
 }
 
 Tensor Conv2d::Forward(const Tensor& input) {
-  Tensor out = Infer(input);
+  // Training keeps the reference loops; the GEMM engine reproduces them
+  // bit-for-bit (tests assert this), but gradients are only defined against
+  // the reference path.
+  Tensor out = InferReference(input);
   cache_.push_back(input);
   return out;
 }
 
+void Conv2d::InferInto(const float* input, int h, int w, int oh, int ow,
+                       float* out) const {
+  const int k = in_channels_ * kernel_ * kernel_;
+  const int n = oh * ow;
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchScope scope(arena);
+  float* panel = arena.Alloc(static_cast<size_t>(k) * n);
+  Im2Col(input, in_channels_, h, w, kernel_, stride_, oh, ow, panel);
+  GemmBias(out_channels_, n, k, weight_.value.data(), panel,
+           bias_.value.data(), nullptr, out);
+}
+
 Tensor Conv2d::Infer(const Tensor& input) const {
+  if (input.ndim() == 4) {
+    OTIF_CHECK_EQ(input.dim(1), in_channels_);
+    const int nb = input.dim(0);
+    const int h = input.dim(2), w = input.dim(3);
+    const int oh = OutDim(h, stride_), ow = OutDim(w, stride_);
+    Tensor out({nb, out_channels_, oh, ow});
+    const size_t in_stride = static_cast<size_t>(in_channels_) * h * w;
+    const size_t out_stride = static_cast<size_t>(out_channels_) * oh * ow;
+    for (int b = 0; b < nb; ++b) {
+      InferInto(input.data() + b * in_stride, h, w, oh, ow,
+                out.data() + b * out_stride);
+    }
+    return out;
+  }
+  OTIF_CHECK_EQ(input.ndim(), 3);
+  OTIF_CHECK_EQ(input.dim(0), in_channels_);
+  const int h = input.dim(1), w = input.dim(2);
+  const int oh = OutDim(h, stride_), ow = OutDim(w, stride_);
+  Tensor out({out_channels_, oh, ow});
+  InferInto(input.data(), h, w, oh, ow, out.data());
+  return out;
+}
+
+Tensor Conv2d::InferReference(const Tensor& input) const {
   OTIF_CHECK_EQ(input.ndim(), 3);
   OTIF_CHECK_EQ(input.dim(0), in_channels_);
   const int h = input.dim(1), w = input.dim(2);
@@ -147,6 +189,28 @@ Tensor Linear::Forward(const Tensor& input) {
 }
 
 Tensor Linear::Infer(const Tensor& input) const {
+  if (input.ndim() == 2) {
+    // Batched rows: C (N x out) = X (N x in) * W^T (in x out), bias folded
+    // in as the per-column accumulator start — bit-identical per row to the
+    // 1-D path below (float multiply is commutative bitwise and the k order
+    // matches).
+    const int nb = input.dim(0);
+    OTIF_CHECK_EQ(input.dim(1), in_features_);
+    Tensor out({nb, out_features_});
+    const float* wdata = weight_.value.data();
+    ScratchArena& arena = ScratchArena::ThreadLocal();
+    ScratchScope scope(arena);
+    float* wt = arena.Alloc(static_cast<size_t>(in_features_) * out_features_);
+    for (int i = 0; i < in_features_; ++i) {
+      for (int o = 0; o < out_features_; ++o) {
+        wt[static_cast<size_t>(i) * out_features_ + o] =
+            wdata[static_cast<size_t>(o) * in_features_ + i];
+      }
+    }
+    GemmBias(nb, out_features_, in_features_, input.data(), wt, nullptr,
+             bias_.value.data(), out.data());
+    return out;
+  }
   OTIF_CHECK_EQ(input.size(), in_features_);
   Tensor out({out_features_});
   const float* wdata = weight_.value.data();

@@ -48,6 +48,12 @@ class Layer {
 
 /// 2-D convolution over (C, H, W) tensors with 'same' padding (k odd) and
 /// integer stride. Output is (out_channels, ceil(H/stride), ceil(W/stride)).
+///
+/// Infer() runs the im2col + blocked-GEMM engine and additionally accepts a
+/// batched 4-D (N, C, H, W) input, producing (N, out_channels, OH, OW); the
+/// GEMM path is bit-identical to the reference loops (see gemm.h).
+/// Forward()/Backward() — the training path — keep the naive reference
+/// implementation, exposed as InferReference() for cross-checking.
 class Conv2d : public Layer {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, int stride, Rng* rng);
@@ -58,17 +64,30 @@ class Conv2d : public Layer {
   void CollectParameters(std::vector<Parameter*>* out) override;
   void ClearCache() override { cache_.clear(); }
 
+  /// Reference (naive loop) inference over a single 3-D input. Used by the
+  /// training path and by tests/benchmarks as the ground truth the GEMM
+  /// path must reproduce exactly.
+  Tensor InferReference(const Tensor& input) const;
+
   int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
 
  private:
+  /// im2col + GEMM over one (C, H, W) image laid out at `input`; writes the
+  /// (out_channels, oh, ow) result to `out`. Scratch comes from the calling
+  /// thread's ScratchArena.
+  void InferInto(const float* input, int h, int w, int oh, int ow,
+                 float* out) const;
+
   int in_channels_, out_channels_, kernel_, stride_;
   Parameter weight_;  // (out_ch, in_ch, k, k) flattened as 4-D.
   Parameter bias_;    // (out_ch)
   std::vector<Tensor> cache_;  // Cached inputs.
 };
 
-/// Fully connected layer over 1-D tensors.
+/// Fully connected layer over 1-D tensors. Infer() additionally accepts a
+/// batched 2-D (N, in_features) input, producing (N, out_features) via one
+/// GEMM; each row is bit-identical to the 1-D path.
 class Linear : public Layer {
  public:
   Linear(int in_features, int out_features, Rng* rng);

@@ -11,7 +11,9 @@ namespace otif::nn {
 
 /// Dense float tensor with up to 4 dimensions. Layout is row-major over the
 /// shape vector; conv layers interpret 3-D tensors as (channels, height,
-/// width). Designed for single-example training of small models on CPU.
+/// width) and 4-D tensors as a batch (batch, channels, height, width).
+/// Designed for single-example training of small models on CPU; inference
+/// paths accept the batched 4-D form.
 class Tensor {
  public:
   Tensor() = default;
@@ -54,6 +56,12 @@ class Tensor {
   }
   float at3(int c, int y, int x) const { return data_[Index3(c, y, x)]; }
 
+  /// 4-D accessor (n, c, y, x) for batched (N, C, H, W) tensors.
+  float& at4(int n, int c, int y, int x) { return data_[Index4(n, c, y, x)]; }
+  float at4(int n, int c, int y, int x) const {
+    return data_[Index4(n, c, y, x)];
+  }
+
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
   /// Elementwise in-place addition; shapes must match.
@@ -81,6 +89,16 @@ class Tensor {
                x < shape_[2])
         << c << "," << y << "," << x;
     return (static_cast<size_t>(c) * shape_[1] + y) * shape_[2] + x;
+  }
+
+  size_t Index4(int n, int c, int y, int x) const {
+    OTIF_CHECK_EQ(shape_.size(), 4u);
+    OTIF_CHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && y >= 0 &&
+               y < shape_[2] && x >= 0 && x < shape_[3])
+        << n << "," << c << "," << y << "," << x;
+    return ((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + y) *
+               shape_[3] +
+           x;
   }
 
   std::vector<int> shape_;

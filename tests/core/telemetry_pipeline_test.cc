@@ -198,8 +198,11 @@ TEST_F(PipelineTelemetryTest, StageSpansCoverEveryStageAndFrame) {
         "stage/refine"}) {
     const telemetry::SpanSample* span = telemetry::FindSpan(snapshot, name);
     ASSERT_NE(span, nullptr) << name;
-    // BeginClip + one call per sampled frame + EndClip.
-    EXPECT_EQ(span->count, result.frames_processed + 2) << name;
+    // BeginClip + one call per frame batch + EndClip.
+    const int64_t batches =
+        (result.frames_processed + config.frame_batch - 1) /
+        config.frame_batch;
+    EXPECT_EQ(span->count, batches + 2) << name;
     EXPECT_GE(span->total_seconds, 0.0) << name;
     EXPECT_LE(span->min_seconds, span->max_seconds) << name;
   }

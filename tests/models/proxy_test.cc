@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "models/detector.h"
 #include "sim/dataset.h"
 #include "sim/raster.h"
@@ -37,6 +39,40 @@ TEST(ProxyModelTest, ScoreShapeAndRange) {
     EXPECT_GE(probs[i], 0.0f);
     EXPECT_LE(probs[i], 1.0f);
   }
+}
+
+TEST(ProxyModelTest, ScoreBatchMatchesSingleScoresExactly) {
+  ProxyModel model({160, 96}, 21);
+  // Distinct frames, including one at a non-raster size to exercise the
+  // shared resize path.
+  std::vector<video::Image> frames;
+  frames.emplace_back(40, 24, 0.2f);
+  frames.emplace_back(40, 24, 0.8f);
+  frames.emplace_back(80, 48, 0.5f);
+  video::Image gradient(40, 24, 0.0f);
+  for (int y = 0; y < gradient.height(); ++y) {
+    for (int x = 0; x < gradient.width(); ++x) {
+      gradient.set(x, y, static_cast<float>(x + y) / 64.0f);
+    }
+  }
+  frames.push_back(gradient);
+
+  std::vector<const video::Image*> ptrs;
+  for (const video::Image& f : frames) ptrs.push_back(&f);
+  const std::vector<nn::Tensor> batched = model.ScoreBatch(ptrs);
+  ASSERT_EQ(batched.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const nn::Tensor want = model.Score(frames[i]);
+    ASSERT_EQ(want.shape(), batched[i].shape());
+    for (int64_t j = 0; j < want.size(); ++j) {
+      ASSERT_EQ(want[j], batched[i][j]) << "frame " << i << " cell " << j;
+    }
+  }
+}
+
+TEST(ProxyModelTest, ScoreBatchEmptyIsNoop) {
+  ProxyModel model({160, 96}, 22);
+  EXPECT_TRUE(model.ScoreBatch({}).empty());
 }
 
 TEST(ProxyModelTest, CellRectTilesFrame) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -362,6 +364,93 @@ TEST(BceWithLogitsTest, EmptyMaskGivesZeroLoss) {
   Tensor mask({2});  // All zero.
   Tensor grad;
   EXPECT_DOUBLE_EQ(BceWithLogits(logits, targets, &mask, &grad), 0.0);
+}
+
+TEST(Conv2dTest, GemmInferMatchesReferenceBitForBit) {
+  // The im2col+GEMM engine must reproduce the naive reference loops exactly
+  // (one ascending-k accumulator chain per output; see gemm.h), across
+  // strides, channel counts, kernel sizes, and odd spatial dims that
+  // exercise every tile-edge case.
+  Rng rng(11);
+  struct Case {
+    int in_c, out_c, kernel, stride, h, w;
+  };
+  const Case cases[] = {
+      {1, 8, 3, 2, 64, 104}, {8, 16, 3, 2, 32, 52}, {16, 16, 3, 2, 16, 26},
+      {16, 1, 3, 1, 8, 13},  {3, 5, 5, 1, 9, 7},    {2, 4, 3, 3, 10, 11},
+      {1, 1, 1, 1, 4, 4},    {4, 3, 3, 2, 5, 5},
+  };
+  for (const Case& c : cases) {
+    Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, &rng);
+    const Tensor input = RandomTensor({c.in_c, c.h, c.w}, &rng);
+    const Tensor want = conv.InferReference(input);
+    const Tensor got = conv.Infer(input);
+    ASSERT_EQ(want.shape(), got.shape());
+    for (int64_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i])
+          << "ic=" << c.in_c << " oc=" << c.out_c << " k=" << c.kernel
+          << " s=" << c.stride << " at " << i;
+    }
+  }
+}
+
+TEST(Conv2dTest, BatchedInferMatchesPerSampleExactly) {
+  Rng rng(12);
+  Conv2d conv(3, 6, 3, 2, &rng);
+  const int nb = 4, h = 11, w = 13;
+  Tensor batch({nb, 3, h, w});
+  std::vector<Tensor> singles;
+  for (int b = 0; b < nb; ++b) {
+    Tensor one = RandomTensor({3, h, w}, &rng);
+    std::copy(one.data(), one.data() + one.size(),
+              batch.data() + static_cast<int64_t>(b) * one.size());
+    singles.push_back(std::move(one));
+  }
+  const Tensor out = conv.Infer(batch);
+  ASSERT_EQ(out.ndim(), 4);
+  ASSERT_EQ(out.dim(0), nb);
+  for (int b = 0; b < nb; ++b) {
+    const Tensor want = conv.Infer(singles[static_cast<size_t>(b)]);
+    const float* got = out.data() + static_cast<int64_t>(b) * want.size();
+    for (int64_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i]) << "sample " << b << " at " << i;
+    }
+  }
+}
+
+TEST(Conv2dTest, ForwardStillUsesReferencePath) {
+  Rng rng(13);
+  Conv2d conv(2, 3, 3, 1, &rng);
+  const Tensor input = RandomTensor({2, 6, 6}, &rng);
+  const Tensor fwd = conv.Forward(input);
+  conv.ClearCache();
+  const Tensor ref = conv.InferReference(input);
+  for (int64_t i = 0; i < ref.size(); ++i) ASSERT_EQ(ref[i], fwd[i]);
+}
+
+TEST(LinearTest, BatchedInferMatchesPerRowExactly) {
+  Rng rng(14);
+  const int in = 37, out = 19, nb = 5;
+  Linear linear(in, out, &rng);
+  Tensor batch({nb, in});
+  std::vector<Tensor> rows;
+  for (int b = 0; b < nb; ++b) {
+    Tensor row = RandomTensor({in}, &rng);
+    std::copy(row.data(), row.data() + in,
+              batch.data() + static_cast<int64_t>(b) * in);
+    rows.push_back(std::move(row));
+  }
+  const Tensor got = linear.Infer(batch);
+  ASSERT_EQ(got.ndim(), 2);
+  ASSERT_EQ(got.dim(0), nb);
+  ASSERT_EQ(got.dim(1), out);
+  for (int b = 0; b < nb; ++b) {
+    const Tensor want = linear.Infer(rows[static_cast<size_t>(b)]);
+    for (int o = 0; o < out; ++o) {
+      ASSERT_EQ(want[o], got[static_cast<int64_t>(b) * out + o])
+          << "row " << b << " out " << o;
+    }
+  }
 }
 
 TEST(MseLossTest, LossAndGradient) {

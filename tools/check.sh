@@ -24,6 +24,21 @@ for arg in "$@"; do
   esac
 done
 
+# Abort if any element of the last pipeline failed. `set -o pipefail` only
+# reports the overall status, which hides *which* element failed and is
+# silently discarded when a pipeline feeds a conditional, so every piped
+# validator below is followed by: require_pipe_ok "${PIPESTATUS[@]}".
+require_pipe_ok() {
+  local i=0 rc
+  for rc in "$@"; do
+    if [[ "$rc" -ne 0 ]]; then
+      echo "ERROR: pipeline element $i exited with status $rc" >&2
+      exit "$rc"
+    fi
+    i=$((i + 1))
+  done
+}
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
@@ -32,15 +47,15 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure)
 
 echo "== smoke: bench_throughput telemetry report =="
-# One short sweep; stdout is the JSON run report (logs go to stderr).
-# Validate that it parses and carries the expected stage/telemetry keys.
-OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput 4 60 \
-  > build/throughput_report.json
-python3 - build/throughput_report.json <<'EOF'
+# One short sweep; stdout is the JSON run report (logs go to stderr). The
+# validator reads JSON from stdin so it composes in a pipeline; tee keeps
+# the report on disk for the baseline self-test below. The pipeline's exit
+# statuses are checked element-by-element so a validator failure (or a
+# crashed benchmark) can never be masked by the pipe.
+VALIDATE_THROUGHPUT='
 import json, sys
 
-with open(sys.argv[1]) as f:
-    report = json.load(f)
+report = json.load(sys.stdin)
 
 assert report["benchmark"] == "pipeline_throughput", report.get("benchmark")
 results = report["results"]
@@ -63,16 +78,17 @@ for hist in telemetry["histograms"].values():
     for key in ("p50", "p90", "p99"):
         assert key in hist, hist
 print("throughput report ok:", len(results), "sweep points")
-EOF
+'
+OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput 4 60 \
+  | tee build/throughput_report.json \
+  | python3 -c "$VALIDATE_THROUGHPUT"
+require_pipe_ok "${PIPESTATUS[@]}"
 
 echo "== smoke: timeline trace capture (Chrome trace-event JSON) =="
-OTIF_LOG_LEVEL=warning OTIF_TRACE_TIMELINE=build/timeline_trace.json \
-  ./build/bench/bench_throughput 4 60 > /dev/null
-python3 - build/timeline_trace.json <<'EOF'
+VALIDATE_TIMELINE='
 import json, sys
 
-with open(sys.argv[1]) as f:
-    trace = json.load(f)
+trace = json.load(sys.stdin)
 
 events = trace["traceEvents"]
 assert events, "empty trace"
@@ -85,10 +101,16 @@ assert stage_b, sorted({e["name"] for e in events})
 tagged = [e for e in stage_b if e.get("args", {}).get("clip", -1) >= 0]
 assert tagged, "no stage span carries a clip id"
 assert len({e["tid"] for e in tagged}) > 1, "clip context only on one thread"
-print(f"timeline trace ok: {len(events)} events, "
-      f"{len({e['tid'] for e in events})} threads, "
-      f"{len({e['args']['clip'] for e in tagged})} clips tagged")
-EOF
+tids = {e["tid"] for e in events}
+clips = {e["args"]["clip"] for e in tagged}
+print("timeline trace ok: %d events, %d threads, %d clips tagged"
+      % (len(events), len(tids), len(clips)))
+'
+OTIF_LOG_LEVEL=warning OTIF_TRACE_TIMELINE=build/timeline_trace.json \
+  ./build/bench/bench_throughput 4 60 > /dev/null
+python3 -c "$VALIDATE_TIMELINE" < build/timeline_trace.json \
+  | grep "timeline trace ok"
+require_pipe_ok "${PIPESTATUS[@]}"
 
 echo "== smoke: perf-baseline gate mechanics =="
 # Deterministic self-test of the regression gate: record and compare from
