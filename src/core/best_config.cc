@@ -1,7 +1,10 @@
 #include "core/best_config.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "core/executor/streaming_executor.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/trace_timeline.h"
@@ -27,6 +30,44 @@ EvalResult EvaluateConfig(const PipelineConfig& config,
                   });
   EvalResult result;
   for (PipelineResult& r : per_clip) {
+    result.clock.Merge(r.clock);
+    result.tracks_per_clip.push_back(std::move(r.tracks));
+  }
+  result.seconds = result.clock.TotalSeconds();
+  result.accuracy = accuracy_fn(result.tracks_per_clip);
+  return result;
+}
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  return kind == ExecutorKind::kStreaming ? "streaming" : "serial";
+}
+
+ExecutorKind ExecutorKindFromEnv() {
+  const char* value = std::getenv("OTIF_EXECUTOR");
+  if (value == nullptr || *value == '\0') return ExecutorKind::kStreaming;
+  if (std::strcmp(value, "streaming") == 0) return ExecutorKind::kStreaming;
+  if (std::strcmp(value, "serial") == 0) return ExecutorKind::kSerial;
+  OTIF_LOG(kWarning) << "OTIF_EXECUTOR=\"" << value
+                     << "\" is not \"serial\" or \"streaming\"; using "
+                        "the streaming executor";
+  return ExecutorKind::kStreaming;
+}
+
+EvalResult EvaluateConfigWith(ExecutorKind kind, const PipelineConfig& config,
+                              const TrainedModels* trained,
+                              const std::vector<sim::Clip>& clips,
+                              const AccuracyFn& accuracy_fn) {
+  if (kind == ExecutorKind::kSerial) {
+    return EvaluateConfig(config, trained, clips, accuracy_fn);
+  }
+  StreamingExecutor executor(config, trained, StreamingOptionsFromEnv());
+  StatusOr<std::vector<PipelineResult>> per_clip = executor.Run(clips);
+  // The serial path CHECKs the same config invariants in the Pipeline
+  // constructor, and nothing cancels this executor — a failure here is a
+  // programming error, not a recoverable condition.
+  OTIF_CHECK(per_clip.ok()) << per_clip.status().ToString();
+  EvalResult result;
+  for (PipelineResult& r : *per_clip) {
     result.clock.Merge(r.clock);
     result.tracks_per_clip.push_back(std::move(r.tracks));
   }

@@ -30,6 +30,33 @@ EvalResult EvaluateConfig(const PipelineConfig& config,
                           const std::vector<sim::Clip>& clips,
                           const AccuracyFn& accuracy_fn);
 
+/// How a clip set is executed. Both produce bit-identical results; they
+/// differ in how wall-clock parallelism and model batching are organized.
+enum class ExecutorKind {
+  /// Serial reference path: one Pipeline::Run per clip, fanned out over
+  /// the worker pool clip-by-clip (model batches never span clips).
+  kSerial,
+  /// Cross-stream dataflow executor: bounded stage queues with proxy and
+  /// detector invocations batched across clips.
+  kStreaming,
+};
+
+/// "serial" / "streaming".
+const char* ExecutorKindName(ExecutorKind kind);
+
+/// Reads OTIF_EXECUTOR ("serial" or "streaming"; default streaming).
+/// Unrecognized values fall back to streaming with a logged warning.
+ExecutorKind ExecutorKindFromEnv();
+
+/// EvaluateConfig routed through the chosen executor. kSerial is exactly
+/// EvaluateConfig; kStreaming runs the clips through a StreamingExecutor
+/// (options from the environment) and merges per-clip results in clip
+/// order, reproducing the serial totals bit-for-bit.
+EvalResult EvaluateConfigWith(ExecutorKind kind, const PipelineConfig& config,
+                              const TrainedModels* trained,
+                              const std::vector<sim::Clip>& clips,
+                              const AccuracyFn& accuracy_fn);
+
 /// Selects the best-accuracy configuration theta_best (paper Sec 3.3):
 /// starting from the slowest configuration (no proxy, full resolution,
 /// gap 1, SORT tracker — proxy and recurrent models are not yet trained at

@@ -1,0 +1,131 @@
+#ifndef OTIF_CORE_EXECUTOR_CHANNEL_H_
+#define OTIF_CORE_EXECUTOR_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/telemetry.h"
+
+namespace otif::core::executor {
+
+/// Bounded multi-producer multi-consumer queue connecting two stage worker
+/// groups of the streaming executor.
+///
+/// Semantics (Go-channel style):
+///  - Push blocks while the channel is full; returns false iff the channel
+///    was closed (the item is dropped — producers treat false as "stop").
+///  - Pop blocks while the channel is empty and open; after Close it keeps
+///    returning buffered items until the channel is drained, then returns
+///    false. This close-with-drain rule is what lets a finished upstream
+///    stage signal "no more work" without losing in-flight items.
+///  - Close is idempotent and wakes every blocked producer and consumer.
+///
+/// The bound is the backpressure mechanism: a slow downstream stage fills
+/// its input channel, which blocks the upstream workers instead of letting
+/// queued work grow without limit.
+///
+/// Telemetry (when constructed with a non-empty name and telemetry is on):
+///  - gauge "executor.channel.<name>.depth": current queue depth,
+///  - histogram "executor.channel.<name>.occupancy": depth observed at each
+///    Push, i.e. the stationary queue-depth distribution under load.
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` is clamped below to 1. An empty `name` disables telemetry
+  /// (used by tests that must not touch the global registry).
+  explicit Channel(size_t capacity, std::string name = "")
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    if (!name.empty()) {
+      telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+      depth_gauge_ = reg.GetGauge("executor.channel." + name + ".depth");
+      occupancy_ = reg.GetHistogram(
+          "executor.channel." + name + ".occupancy",
+          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    }
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full. Returns true when the item was enqueued, false when
+  /// the channel is (or becomes) closed — the item is dropped in that case.
+  bool Push(T item) {
+    size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      depth = items_.size();
+    }
+    not_empty_.notify_one();
+    RecordDepth(depth, /*pushed=*/true);
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns true with the next item in *out;
+  /// returns false once the channel is closed and drained.
+  bool Pop(T* out) {
+    size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;  // Closed and drained.
+      *out = std::move(items_.front());
+      items_.pop_front();
+      depth = items_.size();
+    }
+    not_full_.notify_one();
+    RecordDepth(depth, /*pushed=*/false);
+    return true;
+  }
+
+  /// Closes the channel: pending and future Push calls return false,
+  /// Pop drains buffered items then returns false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous queue depth (diagnostic; racy by nature).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void RecordDepth(size_t depth, bool pushed) {
+    if (depth_gauge_ == nullptr || !telemetry::Enabled()) return;
+    depth_gauge_->Set(static_cast<double>(depth));
+    if (pushed) occupancy_->Record(static_cast<double>(depth));
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;   // Guarded by mu_.
+  bool closed_ = false;   // Guarded by mu_.
+  telemetry::Gauge* depth_gauge_ = nullptr;   // Null => telemetry off.
+  telemetry::Histogram* occupancy_ = nullptr;
+};
+
+}  // namespace otif::core::executor
+
+#endif  // OTIF_CORE_EXECUTOR_CHANNEL_H_

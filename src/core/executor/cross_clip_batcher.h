@@ -1,0 +1,204 @@
+#ifndef OTIF_CORE_EXECUTOR_CROSS_CLIP_BATCHER_H_
+#define OTIF_CORE_EXECUTOR_CROSS_CLIP_BATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/telemetry.h"
+
+namespace otif::core::executor {
+
+/// Collects model-invocation requests from many concurrent clip streams and
+/// releases them as one batched invocation — the streaming executor's
+/// cross-clip batching point (paper Sec 4: detector batches span the frames
+/// of many videos, not just consecutive frames of one).
+///
+/// Protocol: stage workers call Submit(request, units), which BLOCKS until
+/// the request has been processed as part of a wave. A wave releases when
+///  - its accumulated units reach Options::target_units (the submitting
+///    worker becomes the leader and runs ProcessFn inline), or
+///  - Options::max_wait elapses since the wave opened (the first waiting
+///    follower to time out becomes the deadline leader and runs the partial
+///    wave), or
+///  - Flush() is called (drain path: the caller leads the partial wave).
+/// Because Submit is synchronous, a worker can never exit with a request
+/// still pending — the executor's stage-drain protocol needs no extra
+/// bookkeeping to guarantee every request is answered.
+///
+/// `units` is the submitter-defined fill contribution (the executor counts
+/// frames, so a request carrying a frame group contributes the group size).
+///
+/// Close() cancels: pending waves are abandoned and their Submit calls
+/// return false WITHOUT the request having been processed (callers fall
+/// back to an unbatched invocation). Waves already processing complete.
+///
+/// ProcessFn runs on whichever worker becomes the leader, outside the
+/// batcher lock, and must fill every request's response slots. It must be
+/// batch-composition-independent (per-request results identical no matter
+/// which requests share the wave) for the executor's bit-identity
+/// guarantee; the simulated models provide exactly that.
+///
+/// Telemetry (when telemetry is enabled):
+///  - histogram "executor.batch.<name>.fill": units per released wave,
+///  - counters "executor.batch.<name>.releases_full" / ".releases_deadline"
+///    (Flush releases count as deadline releases).
+template <typename Request>
+class CrossClipBatcher {
+ public:
+  using ProcessFn = std::function<void(const std::vector<Request*>&)>;
+
+  struct Options {
+    /// Release threshold in units. Waves release as soon as accumulated
+    /// units reach this value; clamped below to 1.
+    int target_units = 32;
+    /// How long a partial wave may wait for more streams to contribute
+    /// before a follower releases it anyway.
+    std::chrono::microseconds max_wait{500};
+  };
+
+  CrossClipBatcher(const std::string& name, Options options, ProcessFn process)
+      : options_(options), process_(std::move(process)) {
+    if (options_.target_units < 1) options_.target_units = 1;
+    telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+    fill_hist_ = reg.GetHistogram(
+        "executor.batch." + name + ".fill",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+    full_releases_counter_ =
+        reg.GetCounter("executor.batch." + name + ".releases_full");
+    deadline_releases_counter_ =
+        reg.GetCounter("executor.batch." + name + ".releases_deadline");
+  }
+
+  CrossClipBatcher(const CrossClipBatcher&) = delete;
+  CrossClipBatcher& operator=(const CrossClipBatcher&) = delete;
+
+  /// Adds `req` (contributing `units` toward the release threshold) and
+  /// blocks until the wave containing it has been processed. Returns true
+  /// when the request was processed, false when the batcher was closed
+  /// first (the request was NOT processed; the caller must handle it).
+  bool Submit(Request* req, int units) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (current_ == nullptr) {
+      current_ = std::make_shared<Wave>();
+      current_->deadline = std::chrono::steady_clock::now() + options_.max_wait;
+    }
+    std::shared_ptr<Wave> wave = current_;
+    wave->requests.push_back(req);
+    wave->units += units;
+
+    if (wave->units >= options_.target_units) {
+      // This submitter fills the wave: detach it so new submissions open a
+      // fresh wave, and lead the release inline.
+      current_ = nullptr;
+      ProcessWaveLocked(lock, *wave, /*full=*/true);
+      return true;
+    }
+
+    // Follower: wait for a leader. If the deadline passes with the wave
+    // still open, become the deadline leader and release the partial wave.
+    while (!wave->done && !wave->cancelled) {
+      if (wave->processing) {
+        cv_.wait(lock);
+        continue;
+      }
+      if (cv_.wait_until(lock, wave->deadline) == std::cv_status::timeout &&
+          !wave->done && !wave->cancelled && !wave->processing) {
+        if (current_ == wave) current_ = nullptr;
+        ProcessWaveLocked(lock, *wave, /*full=*/false);
+        return true;
+      }
+    }
+    return wave->done;
+  }
+
+  /// Releases the currently open wave, if any, on the calling thread.
+  /// Drain aid only — the deadline already guarantees liveness.
+  void Flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_ == nullptr || current_->processing) return;
+    std::shared_ptr<Wave> wave = current_;
+    current_ = nullptr;
+    ProcessWaveLocked(lock, *wave, /*full=*/false);
+  }
+
+  /// Cancels the batcher: the open wave (if not yet processing) is
+  /// abandoned and its submitters return false; future Submits return
+  /// false immediately. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    if (current_ != nullptr && !current_->processing) {
+      current_->cancelled = true;
+      current_ = nullptr;
+    }
+    cv_.notify_all();
+  }
+
+  // Lifetime release statistics (independent of the telemetry flag).
+  int64_t full_releases() const {
+    return full_releases_.load(std::memory_order_relaxed);
+  }
+  int64_t deadline_releases() const {
+    return deadline_releases_.load(std::memory_order_relaxed);
+  }
+  int64_t units_processed() const {
+    return units_processed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Wave {
+    std::vector<Request*> requests;
+    int units = 0;
+    std::chrono::steady_clock::time_point deadline;
+    bool processing = false;  // A leader is running ProcessFn on this wave.
+    bool done = false;        // ProcessFn completed; responses are filled.
+    bool cancelled = false;   // Abandoned by Close before processing.
+  };
+
+  /// Runs ProcessFn on `wave` (lock released around the call), marks it
+  /// done, and wakes its followers. Caller must hold `lock`.
+  void ProcessWaveLocked(std::unique_lock<std::mutex>& lock, Wave& wave,
+                         bool full) {
+    wave.processing = true;
+    lock.unlock();
+    process_(wave.requests);
+    (full ? full_releases_ : deadline_releases_)
+        .fetch_add(1, std::memory_order_relaxed);
+    units_processed_.fetch_add(wave.units, std::memory_order_relaxed);
+    if (telemetry::Enabled()) {
+      fill_hist_->Record(static_cast<double>(wave.units));
+      (full ? full_releases_counter_ : deadline_releases_counter_)->Add(1);
+    }
+    lock.lock();
+    wave.done = true;
+    cv_.notify_all();
+  }
+
+  Options options_;
+  ProcessFn process_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Wave> current_;  // Open wave accepting requests; mu_.
+  bool closed_ = false;            // Guarded by mu_.
+
+  std::atomic<int64_t> full_releases_{0};
+  std::atomic<int64_t> deadline_releases_{0};
+  std::atomic<int64_t> units_processed_{0};
+
+  telemetry::Histogram* fill_hist_;
+  telemetry::Counter* full_releases_counter_;
+  telemetry::Counter* deadline_releases_counter_;
+};
+
+}  // namespace otif::core::executor
+
+#endif  // OTIF_CORE_EXECUTOR_CROSS_CLIP_BATCHER_H_

@@ -1,0 +1,99 @@
+#ifndef OTIF_CORE_EXECUTOR_STREAMING_EXECUTOR_H_
+#define OTIF_CORE_EXECUTOR_STREAMING_EXECUTOR_H_
+
+#include <mutex>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/world.h"
+#include "util/status.h"
+
+namespace otif::core {
+
+/// Tuning knobs for the streaming executor. Zero values mean "derive a
+/// default" (from ThreadPool::Default()'s width and the pipeline config).
+struct StreamingOptions {
+  /// Number of clip streams interleaved by the source stage. More streams
+  /// put more distinct clips in flight simultaneously, which is what fills
+  /// cross-clip batches. 0 => max(2, worker width).
+  int num_streams = 0;
+  /// Cross-clip batch release threshold, in frames. 0 => 32, clamped to
+  /// what the stage worker count can actually have in flight.
+  int batch_target_frames = 0;
+  /// Microseconds a partial batch waits for more streams before releasing.
+  /// 0 => 500.
+  int batch_wait_us = 0;
+  /// Capacity of each inter-stage channel (the backpressure bound).
+  /// 0 => max(4, 2 x stage workers, num_streams).
+  int channel_capacity = 0;
+  /// Worker threads per compute stage (proxy, detect) and for the commit
+  /// stage. 0 => max(1, worker width / 2).
+  int stage_workers = 0;
+};
+
+/// Reads OTIF_STREAMS, OTIF_BATCH_TARGET, and OTIF_BATCH_WAIT_US into a
+/// StreamingOptions (invalid values are ignored with a logged warning,
+/// leaving the derived defaults in place).
+StreamingOptions StreamingOptionsFromEnv();
+
+/// Cross-stream dataflow executor: runs the OTIF pipeline over many clips
+/// through bounded stage queues (decode/source -> proxy -> detect ->
+/// track+commit) with proxy and detector invocations batched ACROSS clips
+/// (paper Sec 4 — one GPU batch spans the frames of many videos).
+///
+/// Determinism contract: results are bit-identical to running the serial
+/// reference path `Pipeline::Run` on each clip — same tracks, same
+/// detections, same per-clip SimClock charges. The executor achieves this
+/// by splitting each stage into its pure compute half (runs on stage
+/// workers, any order, any batch composition) and its ordered commit half
+/// (replayed per clip in serial group order under a per-clip reassembly
+/// buffer); simulated costs are charged with the serial frame_batch
+/// grouping formulas regardless of how invocations were actually batched.
+/// Batching therefore changes wall-clock throughput and telemetry, never
+/// results.
+///
+/// A StreamingExecutor is single-use per Run call but reusable across
+/// calls; Cancel() (from any thread) aborts an in-flight Run, which then
+/// returns a Cancelled status.
+class StreamingExecutor {
+ public:
+  /// `trained` may be null under the same conditions as Pipeline (no
+  /// proxy, SORT tracker, no refinement). Invalid combinations are
+  /// reported by Run as a Status rather than aborting.
+  StreamingExecutor(PipelineConfig config, const TrainedModels* trained,
+                    StreamingOptions options = {});
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// The invariants Pipeline's constructor enforces with CHECKs, as a
+  /// Status (the executor's channel-based error path instead of aborting).
+  static Status ValidateConfig(const PipelineConfig& config,
+                               const TrainedModels* trained);
+
+  /// Runs the pipeline over every clip, returning per-clip results ordered
+  /// by clip index. Blocks until all clips finished (or the run failed /
+  /// was cancelled). Must not be called concurrently with itself.
+  StatusOr<std::vector<PipelineResult>> Run(
+      const std::vector<sim::Clip>& clips);
+
+  /// Aborts an in-flight Run (closing every channel and batcher) and makes
+  /// future Runs fail fast. Safe from any thread; idempotent.
+  void Cancel();
+
+  /// Channels, batchers, and per-clip work of one Run call (defined in the
+  /// .cc; declared here so the worker loops can name it).
+  struct RunState;
+
+ private:
+  PipelineConfig config_;
+  const TrainedModels* trained_;
+  StreamingOptions options_;
+
+  std::mutex mu_;
+  RunState* active_ = nullptr;  // Non-null while Run is in flight; mu_.
+  bool cancelled_ = false;      // Latched by Cancel; mu_.
+};
+
+}  // namespace otif::core
+
+#endif  // OTIF_CORE_EXECUTOR_STREAMING_EXECUTOR_H_

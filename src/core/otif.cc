@@ -323,7 +323,12 @@ const TunerPoint& Otif::FastestWithinTolerance(double tolerance) const {
 EvalResult Otif::Execute(const PipelineConfig& config,
                          const std::vector<sim::Clip>& clips,
                          const AccuracyFn& accuracy_fn) const {
-  return EvaluateConfig(config, &trained_, clips, accuracy_fn);
+  // Execution-phase runs (as opposed to the tuner's evaluation loop) go
+  // through the environment-selected executor; the streaming default
+  // batches proxy and detector invocations across clips. Results are
+  // bit-identical either way.
+  return EvaluateConfigWith(ExecutorKindFromEnv(), config, &trained_, clips,
+                            accuracy_fn);
 }
 
 }  // namespace otif::core

@@ -23,7 +23,7 @@ struct StageTelemetry {
   telemetry::Gauge* sim_seconds;
 };
 
-constexpr int kNumStages = 5;
+constexpr int kNumStages = internal::kNumStages;
 
 const std::array<StageTelemetry, kNumStages>& GetStageTelemetry() {
   static const std::array<StageTelemetry, kNumStages> stages = [] {
@@ -61,6 +61,14 @@ const RunTelemetry& GetRunTelemetry() {
   return t;
 }
 
+}  // namespace
+
+namespace internal {
+
+telemetry::SpanSite* StageSpan(int stage) {
+  return GetStageTelemetry()[static_cast<size_t>(stage)].span;
+}
+
 /// Folds one finished run into the global registry. Observation only: must
 /// never influence the result (the telemetry on/off regression test pins
 /// this down).
@@ -78,7 +86,7 @@ void RecordRunTelemetry(const PipelineResult& result) {
   t.run_sim_seconds->Record(result.clock.TotalSeconds());
 }
 
-}  // namespace
+}  // namespace internal
 
 std::string PipelineConfig::ToString() const {
   return StrFormat(
@@ -160,21 +168,23 @@ PipelineResult Pipeline::Run(const sim::Clip& clip) const {
   // group of frame_batch consecutive contexts per call, so batched stages
   // issue one model invocation per group while unbatched stages fall back
   // to the per-frame loop. One stage span per batch instead of per frame.
-  std::vector<FrameContext> ctxs;
-  ctxs.reserve(static_cast<size_t>(config_.frame_batch));
+  //
+  // Context slots are allocated once and re-armed per group (Reset keeps
+  // the low-res render buffer and vector capacities), so the hot loop does
+  // not reconstruct FrameContexts — or their video::Image buffers — for
+  // every batch.
+  std::vector<FrameContext> ctxs(static_cast<size_t>(config_.frame_batch));
+  std::vector<FrameContext*> batch;
+  batch.reserve(ctxs.size());
   for (int f = 0; f < clip.num_frames();) {
-    ctxs.clear();
+    batch.clear();
     for (int b = 0; b < config_.frame_batch && f < clip.num_frames();
          ++b, f += config_.sampling_gap) {
-      FrameContext ctx;
-      ctx.frame = f;
-      ctxs.push_back(std::move(ctx));
+      FrameContext& ctx = ctxs[static_cast<size_t>(b)];
+      ctx.Reset(f);
+      batch.push_back(&ctx);
       ++result.frames_processed;
     }
-    // Pointers are built after the fill: growing ctxs would invalidate them.
-    std::vector<FrameContext*> batch;
-    batch.reserve(ctxs.size());
-    for (FrameContext& ctx : ctxs) batch.push_back(&ctx);
     for (int s = 0; s < kNumStages; ++s) {
       telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
       stages[s]->ProcessBatch(batch, &result);
@@ -184,7 +194,7 @@ PipelineResult Pipeline::Run(const sim::Clip& clip) const {
     telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
     stages[s]->EndClip(&result);
   }
-  if (telemetry::Enabled()) RecordRunTelemetry(result);
+  if (telemetry::Enabled()) internal::RecordRunTelemetry(result);
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "sim/world.h"
 #include "track/refine.h"
 #include "track/types.h"
+#include "util/trace.h"
 
 namespace otif::core {
 
@@ -107,6 +108,24 @@ class Pipeline {
   PipelineConfig config_;
   const TrainedModels* trained_;  // Not owned; may be null (see ctor).
 };
+
+namespace internal {
+
+/// Number of execution stages (decode, proxy, detect, track, refine); maps
+/// 1:1 onto the first five cost categories.
+constexpr int kNumStages = 5;
+
+/// Wall-clock span site for stage `stage` (0..kNumStages-1). Shared by the
+/// serial driver and the streaming executor so both report through the
+/// same "stage/<name>" telemetry names.
+telemetry::SpanSite* StageSpan(int stage);
+
+/// Folds one finished run into the global registry (per-stage simulated
+/// seconds, run counters, run-total histogram). Observation only: must
+/// never influence the result. Callers check telemetry::Enabled() first.
+void RecordRunTelemetry(const PipelineResult& result);
+
+}  // namespace internal
 
 /// The standard detector-scale ladder used by the tuner: each step reduces
 /// pixel count by the tuning coarseness C = 30%.

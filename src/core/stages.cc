@@ -16,6 +16,26 @@ namespace {
 // video::CodecConfig.
 constexpr int kGopSize = 16;
 
+// Frames per batched model invocation, recorded at the point the model is
+// actually invoked (so the serial driver and the streaming executor's
+// cross-clip batcher report through the same histograms; the streaming
+// release records once for the whole multi-clip wave instead).
+telemetry::Histogram* ProxyInvocationFrames() {
+  static telemetry::Histogram* const h =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "proxy.invocation_frames",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  return h;
+}
+
+telemetry::Histogram* DetectInvocationFrames() {
+  static telemetry::Histogram* const h =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "detect.invocation_frames",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  return h;
+}
+
 }  // namespace
 
 double SimulatedDecodeSeconds(const PipelineConfig& config,
@@ -79,14 +99,15 @@ ProxyStage::ProxyStage(const PipelineConfig& config,
   scaled_h_ = clip_.spec().height * scale;
 }
 
-void ProxyStage::PublishWindows(const nn::Tensor& scores, FrameContext* ctx,
-                                PipelineResult* result) {
+void ProxyStage::ChargeFrame(PipelineResult* result) {
   const models::CostConstants& costs = models::DefaultCostConstants();
   result->clock.Charge(
       models::CostCategory::kProxy,
       costs.proxy_sec_per_frame +
           costs.proxy_sec_per_pixel * proxy_->resolution().world_pixels());
+}
 
+void ProxyStage::ComputeWindows(const nn::Tensor& scores, FrameContext* ctx) {
   ctx->proxy_ran = true;
   const CellGrid grid = CellGrid::FromScores(scores, config_.proxy_threshold);
   if (grid.CountPositive() == 0) {
@@ -111,9 +132,8 @@ void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   if (proxy_ == nullptr) return;
   {
     OTIF_SPAN("proxy/render");
-    ctx->low_res_frame = raster_->Render(ctx->frame,
-                                         proxy_->resolution().raster_w(),
-                                         proxy_->resolution().raster_h());
+    raster_->RenderInto(ctx->frame, proxy_->resolution().raster_w(),
+                        proxy_->resolution().raster_h(), &ctx->low_res_frame);
   }
   ctx->have_low_res_frame = true;
   // Cell scores are cached across tuner evaluations (many thresholds score
@@ -125,19 +145,18 @@ void ProxyStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
     return trained_->proxy_cache.GetOrCompute(
         key, [&] { return proxy_->Score(ctx->low_res_frame); });
   }();
-  PublishWindows(scores, ctx, result);
+  ChargeFrame(result);
+  ComputeWindows(scores, ctx);
 }
 
-void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,
-                              PipelineResult* result) {
+void ProxyStage::ComputeBatch(const std::vector<FrameContext*>& batch) {
   if (proxy_ == nullptr) return;
   // Render every frame up front so the cache misses can be scored in one
   // batched network invocation.
   for (FrameContext* ctx : batch) {
     OTIF_SPAN("proxy/render");
-    ctx->low_res_frame = raster_->Render(ctx->frame,
-                                         proxy_->resolution().raster_w(),
-                                         proxy_->resolution().raster_h());
+    raster_->RenderInto(ctx->frame, proxy_->resolution().raster_w(),
+                        proxy_->resolution().raster_h(), &ctx->low_res_frame);
     ctx->have_low_res_frame = true;
   }
 
@@ -155,7 +174,16 @@ void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,
       std::vector<const video::Image*> frames;
       frames.reserve(missing.size());
       for (size_t i : missing) frames.push_back(&batch[i]->low_res_frame);
-      std::vector<nn::Tensor> fresh = proxy_->ScoreBatch(frames);
+      std::vector<nn::Tensor> fresh;
+      if (score_batch_fn_) {
+        fresh = score_batch_fn_(*proxy_, frames);
+      } else {
+        fresh = proxy_->ScoreBatch(frames);
+        if (telemetry::Enabled()) {
+          ProxyInvocationFrames()->Record(
+              static_cast<double>(frames.size()));
+        }
+      }
       for (size_t m = 0; m < missing.size(); ++m) {
         const size_t i = missing[m];
         const ProxyScoreCache::Key key =
@@ -168,8 +196,22 @@ void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,
   }
 
   for (size_t i = 0; i < batch.size(); ++i) {
-    PublishWindows(scores[i], batch[i], result);
+    ComputeWindows(scores[i], batch[i]);
   }
+}
+
+void ProxyStage::CommitBatch(const std::vector<FrameContext*>& batch,
+                             PipelineResult* result) {
+  if (proxy_ == nullptr) return;
+  // One fixed charge per frame, in frame order — the same kProxy
+  // accumulation sequence the per-frame path produces.
+  for (size_t i = 0; i < batch.size(); ++i) ChargeFrame(result);
+}
+
+void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,
+                              PipelineResult* result) {
+  ComputeBatch(batch);
+  CommitBatch(batch, result);
 }
 
 // --- DetectStage ------------------------------------------------------------
@@ -204,13 +246,75 @@ void DetectStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   result->detections_kept += static_cast<int64_t>(ctx->detections.size());
 }
 
-void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
-                               PipelineResult* result) {
+void DetectStage::ComputeBatch(const std::vector<FrameContext*>& batch) {
   const double scale = config_.detector_scale;
-  const models::DetectorArch& arch = detector_.arch();
 
   // Partition the batch: windowed frames and full frames become batched
   // detector invocations; proxy-empty frames skip the detector.
+  std::vector<FrameContext*> windowed, full;
+  for (FrameContext* ctx : batch) {
+    if (ctx->proxy_ran) {
+      if (!ctx->skip_detector) windowed.push_back(ctx);
+    } else {
+      full.push_back(ctx);
+    }
+  }
+
+  const auto invoke = [&](const std::vector<int>& frames) {
+    if (detect_batch_fn_) return detect_batch_fn_(detector_, clip_, frames,
+                                                  scale);
+    if (telemetry::Enabled()) {
+      DetectInvocationFrames()->Record(static_cast<double>(frames.size()));
+    }
+    return detector_.DetectBatch(clip_, frames, scale);
+  };
+
+  if (!windowed.empty()) {
+    std::vector<int> frames;
+    frames.reserve(windowed.size());
+    for (FrameContext* ctx : windowed) frames.push_back(ctx->frame);
+    const std::vector<track::FrameDetections> dets = invoke(frames);
+    for (size_t i = 0; i < windowed.size(); ++i) {
+      windowed[i]->detections =
+          models::FilterByWindows(dets[i], windowed[i]->windows);
+    }
+  }
+
+  if (!full.empty()) {
+    std::vector<int> frames;
+    frames.reserve(full.size());
+    for (FrameContext* ctx : full) frames.push_back(ctx->frame);
+    std::vector<track::FrameDetections> dets = invoke(frames);
+    for (size_t i = 0; i < full.size(); ++i) {
+      full[i]->detections = std::move(dets[i]);
+    }
+  }
+
+  // Per-frame coverage value and the confidence filter, in frame order.
+  // Coverage is stored on the context and accumulated at commit time so
+  // the per-clip sum keeps the serial accumulation order.
+  for (FrameContext* ctx : batch) {
+    if (ctx->proxy_ran) {
+      ctx->window_coverage =
+          ctx->skip_detector
+              ? 1.0
+              : track::DetectionCoverage(
+                    clip_.GroundTruthDetections(ctx->frame), ctx->windows);
+    }
+    ctx->detections = models::FilterByConfidence(ctx->detections,
+                                                 config_.detector_confidence);
+  }
+}
+
+void DetectStage::CommitBatch(const std::vector<FrameContext*>& batch,
+                              PipelineResult* result) {
+  const double scale = config_.detector_scale;
+  const models::DetectorArch& arch = detector_.arch();
+
+  // Charges follow the serial grouping: one windowed charge and one
+  // full-frame charge per frame_batch group, independent of how the
+  // compute half actually batched the model invocations. This is the
+  // invariant that makes cross-clip batching cost-neutral.
   std::vector<FrameContext*> windowed, full;
   for (FrameContext* ctx : batch) {
     if (ctx->proxy_ran) {
@@ -227,10 +331,7 @@ void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
     // per-invocation overhead that the unbatched path pays per window.
     double pixel_seconds = 0.0;
     std::vector<WindowSize> shapes;
-    std::vector<int> frames;
-    frames.reserve(windowed.size());
     for (FrameContext* ctx : windowed) {
-      frames.push_back(ctx->frame);
       for (const WindowSize& s : ctx->window_sizes) {
         pixel_seconds +=
             arch.sec_per_pixel * static_cast<double>(s.w) * s.h;
@@ -243,12 +344,6 @@ void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
         models::CostCategory::kDetect,
         pixel_seconds +
             arch.sec_per_invocation * static_cast<double>(shapes.size()));
-    const std::vector<track::FrameDetections> dets =
-        detector_.DetectBatch(clip_, frames, scale);
-    for (size_t i = 0; i < windowed.size(); ++i) {
-      windowed[i]->detections =
-          models::FilterByWindows(dets[i], windowed[i]->windows);
-    }
   }
 
   if (!full.empty()) {
@@ -260,31 +355,23 @@ void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
         models::CostCategory::kDetect,
         pixel_seconds_per_frame * static_cast<double>(full.size()) +
             arch.sec_per_invocation);
-    std::vector<int> frames;
-    frames.reserve(full.size());
-    for (FrameContext* ctx : full) frames.push_back(ctx->frame);
-    std::vector<track::FrameDetections> dets =
-        detector_.DetectBatch(clip_, frames, scale);
-    for (size_t i = 0; i < full.size(); ++i) {
-      full[i]->detections = std::move(dets[i]);
-    }
   }
 
-  // Coverage and the confidence filter run in frame order, exactly as the
-  // per-frame path would.
+  // Coverage and the kept-detections counter accumulate in frame order,
+  // exactly as the per-frame path would.
   for (FrameContext* ctx : batch) {
     if (ctx->proxy_ran) {
-      coverage_sum_ += ctx->skip_detector
-                           ? 1.0
-                           : track::DetectionCoverage(
-                                 clip_.GroundTruthDetections(ctx->frame),
-                                 ctx->windows);
+      coverage_sum_ += ctx->window_coverage;
       ++coverage_frames_;
     }
-    ctx->detections = models::FilterByConfidence(ctx->detections,
-                                                 config_.detector_confidence);
     result->detections_kept += static_cast<int64_t>(ctx->detections.size());
   }
+}
+
+void DetectStage::ProcessBatch(const std::vector<FrameContext*>& batch,
+                               PipelineResult* result) {
+  ComputeBatch(batch);
+  CommitBatch(batch, result);
 }
 
 void DetectStage::EndClip(PipelineResult* result) {
@@ -328,7 +415,7 @@ void TrackStage::ProcessFrame(FrameContext* ctx, PipelineResult* result) {
   // resolution — charged as tracker time).
   const sim::DatasetSpec& spec = clip_.spec();
   if (!ctx->have_low_res_frame) {
-    ctx->low_res_frame = raster_->Render(ctx->frame, 40, 24);
+    raster_->RenderInto(ctx->frame, 40, 24, &ctx->low_res_frame);
     ctx->have_low_res_frame = true;
   }
   std::vector<std::pair<double, double>> appearance;

@@ -47,6 +47,9 @@ StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
     telemetry::ScopedSpan span(telemetry::GetSpan("harness/prepare"));
     result.otif->Prepare(valid_accuracy, tuner_options);
   }
+  OTIF_LOG(kInfo) << "[" << result.dataset << "] executing curve with the "
+                  << core::ExecutorKindName(core::ExecutorKindFromEnv())
+                  << " executor";
   {
     telemetry::ScopedSpan span(telemetry::GetSpan("harness/execute_curve"));
     std::vector<baselines::MethodPoint> points;

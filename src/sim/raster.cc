@@ -90,6 +90,9 @@ video::Image Rasterizer::BuildBackground(int width, int height) const {
 const video::Image& Rasterizer::Background(int width, int height) {
   OTIF_CHECK_GT(width, 0);
   OTIF_CHECK_GT(height, 0);
+  // Map entries are never erased, so the returned reference stays valid
+  // after the lock drops even while other threads insert new resolutions.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = background_cache_.find({width, height});
   if (it == background_cache_.end()) {
     it = background_cache_
@@ -101,8 +104,17 @@ const video::Image& Rasterizer::Background(int width, int height) {
 }
 
 video::Image Rasterizer::Render(int frame, int width, int height) {
+  video::Image img;
+  RenderInto(frame, width, height, &img);
+  return img;
+}
+
+void Rasterizer::RenderInto(int frame, int width, int height,
+                            video::Image* out) {
   const DatasetSpec& spec = clip_->spec();
-  video::Image img = Background(width, height);
+  // Copy-assignment reuses out's pixel buffer when the capacity fits.
+  video::Image& img = *out;
+  img = Background(width, height);
   const double sx = static_cast<double>(width) / spec.width;
   const double sy = static_cast<double>(height) / spec.height;
 
@@ -170,7 +182,6 @@ video::Image Rasterizer::Render(int frame, int width, int height) {
     }
   }
   img.Clamp();
-  return img;
 }
 
 }  // namespace otif::sim

@@ -2,6 +2,7 @@
 #define OTIF_SIM_RASTER_H_
 
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "sim/world.h"
@@ -16,13 +17,28 @@ namespace otif::sim {
 ///
 /// Backgrounds are cached per output resolution; rendering a frame costs
 /// O(output pixels + object pixels).
+///
+/// Thread safety: Render/RenderInto may be called concurrently (the
+/// background cache is guarded by a mutex; map entries are never erased, so
+/// returned references stay valid). Output is deterministic in
+/// (frame, width, height) regardless of call order or interleaving — the
+/// streaming executor relies on this to render the same frame contents from
+/// any stage worker.
 class Rasterizer {
  public:
   /// `clip` must outlive the rasterizer.
   explicit Rasterizer(const Clip* clip);
 
+  Rasterizer(const Rasterizer&) = delete;
+  Rasterizer& operator=(const Rasterizer&) = delete;
+
   /// Renders frame `frame` at `width` x `height` output pixels.
   video::Image Render(int frame, int width, int height);
+
+  /// Renders into `out`, reusing its pixel buffer when the capacity fits
+  /// (the driver re-renders into per-slot FrameContext images to avoid
+  /// per-batch allocation churn). Same output as Render.
+  void RenderInto(int frame, int width, int height, video::Image* out);
 
   /// Renders the static background only (no objects, no noise); exposed for
   /// tests and for video-encoding calibration.
@@ -32,6 +48,7 @@ class Rasterizer {
   video::Image BuildBackground(int width, int height) const;
 
   const Clip* clip_;  // Not owned.
+  std::mutex mu_;     // Guards background_cache_.
   std::map<std::pair<int, int>, video::Image> background_cache_;
 };
 

@@ -50,13 +50,16 @@ void RunTask(const std::function<void(int64_t)>& fn, int64_t index) {
   t.tasks->Add(1);
 }
 
-int DefaultThreadCount() {
-  if (const char* env = std::getenv("OTIF_WORKERS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
+int HardwareThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("OTIF_WORKERS")) {
+    return ThreadPool::ParseWorkerEnv(env, HardwareThreadCount());
+  }
+  return HardwareThreadCount();
 }
 
 std::mutex g_default_mu;
@@ -160,6 +163,20 @@ void ThreadPool::ParallelFor(int64_t n,
     done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
     active_.erase(std::find(active_.begin(), active_.end(), batch));
   }
+}
+
+int ThreadPool::ParseWorkerEnv(const char* value, int fallback) {
+  if (value != nullptr && *value != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end != nullptr && *end == '\0' && n >= 1 && n <= 1 << 16) {
+      return static_cast<int>(n);
+    }
+  }
+  OTIF_LOG(kWarning) << "OTIF_WORKERS=\"" << (value != nullptr ? value : "")
+                     << "\" is not a positive integer; using " << fallback
+                     << " worker thread(s)";
+  return fallback;
 }
 
 ThreadPool* ThreadPool::Default() {

@@ -58,7 +58,14 @@ class ThreadPool {
 
   /// The process-wide default pool. Sized from the OTIF_WORKERS environment
   /// variable when set, otherwise std::thread::hardware_concurrency().
+  /// Invalid OTIF_WORKERS values (non-numeric, trailing garbage, < 1) fall
+  /// back to the hardware width with a logged warning.
   static ThreadPool* Default();
+
+  /// Parses an OTIF_WORKERS-style value. Returns the parsed count when
+  /// `value` is a positive decimal integer; otherwise logs a warning naming
+  /// the rejected value and returns `fallback`. Exposed for tests.
+  static int ParseWorkerEnv(const char* value, int fallback);
 
   /// Replaces the default pool with one of `num_threads` lanes. Must not be
   /// called while another thread is using the default pool; intended for

@@ -1,0 +1,193 @@
+// Tests for the cross-clip batcher's release protocol: full releases led by
+// the filling submitter, deadline releases of partial waves, Flush as a
+// drain aid, and Close abandoning pending requests unprocessed.
+
+#include "core/executor/cross_clip_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace otif::core::executor {
+namespace {
+
+struct TestRequest {
+  int value = 0;
+  int response = -1;
+};
+
+using Batcher = CrossClipBatcher<TestRequest>;
+
+/// Process function that answers every request with value + 1 and records
+/// the wave sizes it saw.
+struct EchoProcessor {
+  std::mutex mu;
+  std::vector<size_t> wave_sizes;
+
+  Batcher::ProcessFn Fn() {
+    return [this](const std::vector<TestRequest*>& wave) {
+      std::lock_guard<std::mutex> lock(mu);
+      wave_sizes.push_back(wave.size());
+      for (TestRequest* req : wave) req->response = req->value + 1;
+    };
+  }
+};
+
+TEST(CrossClipBatcherTest, FullSubmissionReleasesInline) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 4, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest req{.value = 10};
+  // One submission carrying >= target units fills the wave immediately; the
+  // huge max_wait proves no deadline was involved.
+  EXPECT_TRUE(batcher.Submit(&req, 4));
+  EXPECT_EQ(req.response, 11);
+  EXPECT_EQ(batcher.full_releases(), 1);
+  EXPECT_EQ(batcher.deadline_releases(), 0);
+  EXPECT_EQ(batcher.units_processed(), 4);
+  ASSERT_EQ(proc.wave_sizes.size(), 1u);
+  EXPECT_EQ(proc.wave_sizes[0], 1u);
+}
+
+TEST(CrossClipBatcherTest, UnitsOverflowingTargetStillReleaseOnce) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 4, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest req{.value = 1};
+  EXPECT_TRUE(batcher.Submit(&req, 9));
+  EXPECT_EQ(batcher.full_releases(), 1);
+  EXPECT_EQ(batcher.units_processed(), 9);
+}
+
+TEST(CrossClipBatcherTest, DeadlineReleasesPartialWave) {
+  EchoProcessor proc;
+  Batcher batcher(
+      "test", {.target_units = 100, .max_wait = std::chrono::microseconds(200)},
+      proc.Fn());
+  TestRequest req{.value = 5};
+  // The wave can never fill; the submitter itself must time out and become
+  // the deadline leader for its own partial wave.
+  EXPECT_TRUE(batcher.Submit(&req, 1));
+  EXPECT_EQ(req.response, 6);
+  EXPECT_EQ(batcher.full_releases(), 0);
+  EXPECT_EQ(batcher.deadline_releases(), 1);
+  ASSERT_EQ(proc.wave_sizes.size(), 1u);
+  EXPECT_EQ(proc.wave_sizes[0], 1u);
+}
+
+TEST(CrossClipBatcherTest, BatchesAcrossSubmitters) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 2, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest a{.value = 1};
+  TestRequest b{.value = 2};
+  // With target 2 and an unreachable deadline, whichever submission arrives
+  // first blocks as a follower and the other fills the wave — in either
+  // order the single released wave spans both submitters.
+  std::thread first([&] { EXPECT_TRUE(batcher.Submit(&a, 1)); });
+  std::thread second([&] { EXPECT_TRUE(batcher.Submit(&b, 1)); });
+  first.join();
+  second.join();
+  EXPECT_EQ(a.response, 2);
+  EXPECT_EQ(b.response, 3);
+  EXPECT_EQ(batcher.full_releases(), 1);
+  EXPECT_EQ(batcher.deadline_releases(), 0);
+  EXPECT_EQ(batcher.units_processed(), 2);
+  ASSERT_EQ(proc.wave_sizes.size(), 1u);
+  EXPECT_EQ(proc.wave_sizes[0], 2u);  // One wave spanning both submitters.
+}
+
+TEST(CrossClipBatcherTest, FlushReleasesOpenPartialWave) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 100, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest req{.value = 7};
+  std::atomic<bool> done{false};
+  std::thread submitter([&] {
+    EXPECT_TRUE(batcher.Submit(&req, 1));
+    done.store(true);
+  });
+  // Keep flushing until the submitter's wave has been released; Flush on an
+  // empty batcher is a no-op, so looping is safe regardless of timing.
+  while (!done.load()) {
+    batcher.Flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  submitter.join();
+  EXPECT_EQ(req.response, 8);
+  EXPECT_EQ(batcher.full_releases(), 0);
+  EXPECT_EQ(batcher.deadline_releases(), 1);  // Flush counts as deadline.
+}
+
+TEST(CrossClipBatcherTest, CloseFailsPendingSubmitWithoutProcessing) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 100, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest req{.value = 3};
+  std::atomic<int> result{-1};
+  std::thread submitter(
+      [&] { result.store(batcher.Submit(&req, 1) ? 1 : 0); });
+  while (result.load() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    batcher.Close();
+  }
+  submitter.join();
+  EXPECT_EQ(result.load(), 0);      // Submit reported failure...
+  EXPECT_EQ(req.response, -1);      // ...and the request was never processed.
+  EXPECT_EQ(batcher.full_releases(), 0);
+  EXPECT_EQ(batcher.deadline_releases(), 0);
+  {
+    std::lock_guard<std::mutex> lock(proc.mu);
+    EXPECT_TRUE(proc.wave_sizes.empty());
+  }
+  // Closed batchers fail fast.
+  TestRequest late{.value = 9};
+  EXPECT_FALSE(batcher.Submit(&late, 1));
+  EXPECT_EQ(late.response, -1);
+}
+
+TEST(CrossClipBatcherTest, ManyConcurrentSubmittersAllAnswered) {
+  EchoProcessor proc;
+  Batcher batcher(
+      "test", {.target_units = 4, .max_wait = std::chrono::microseconds(500)},
+      proc.Fn());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<TestRequest>> reqs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    reqs[t].resize(kPerThread);
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reqs[t][i].value = t * kPerThread + i;
+        EXPECT_TRUE(batcher.Submit(&reqs[t][i], 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(reqs[t][i].response, reqs[t][i].value + 1);
+    }
+  }
+  EXPECT_EQ(batcher.units_processed(), kThreads * kPerThread);
+  EXPECT_GE(batcher.full_releases() + batcher.deadline_releases(),
+            kThreads * kPerThread / 4);
+}
+
+TEST(CrossClipBatcherTest, TargetUnitsClampedToOne) {
+  EchoProcessor proc;
+  Batcher batcher("test", {.target_units = 0, .max_wait = std::chrono::hours(1)},
+                  proc.Fn());
+  TestRequest req{.value = 0};
+  EXPECT_TRUE(batcher.Submit(&req, 1));  // Releases immediately at target 1.
+  EXPECT_EQ(req.response, 1);
+  EXPECT_EQ(batcher.full_releases(), 1);
+}
+
+}  // namespace
+}  // namespace otif::core::executor

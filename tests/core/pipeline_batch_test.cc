@@ -121,6 +121,51 @@ TEST(PipelineBatchTest, RecurrentWithProxyOutputsInvariantToBatchSize) {
   CheckBatchInvariance(config, trained.get(), clip);
 }
 
+TEST(PipelineBatchTest, FrameBatchLargerThanSampledFrames) {
+  // Gap 32 over 120 frames samples only 4 frames; a frame batch of 64 means
+  // the whole clip is one partial group. Outputs must still match the
+  // per-frame run, and the single invocation must amortize the detector's
+  // per-invocation overhead across all 4 frames.
+  const sim::Clip clip = MakeClip();
+  PipelineConfig config;
+  config.sampling_gap = 32;
+
+  config.frame_batch = 1;
+  const PipelineResult per_frame = Pipeline(config, nullptr).Run(clip);
+  config.frame_batch = 64;
+  const PipelineResult batched = Pipeline(config, nullptr).Run(clip);
+  ExpectSameOutputs(per_frame, batched);
+  EXPECT_EQ(per_frame.frames_processed, 4);
+  const models::DetectorArch arch = models::ArchByName(
+      models::StandardDetectorArchs(), "yolov3");
+  // 4 solo invocations collapse into 1: 3 overheads saved.
+  EXPECT_NEAR(per_frame.clock.Seconds(models::CostCategory::kDetect) -
+                  batched.clock.Seconds(models::CostCategory::kDetect),
+              3 * arch.sec_per_invocation, 1e-9);
+}
+
+TEST(PipelineBatchTest, SamplingGapRaggedTailOutputsInvariantToBatchSize) {
+  // Gap 7 does not divide 120 (18 sampled frames), so the final group of
+  // each batched run is partial no matter the batch size.
+  const sim::Clip clip = MakeClip();
+  PipelineConfig config;
+  config.sampling_gap = 7;
+  CheckBatchInvariance(config, nullptr, clip);
+}
+
+TEST(PipelineBatchTest, ProxySkipDetectorFramesInBatchInvariant) {
+  // A high proxy threshold rejects most frames, so batched detect calls see
+  // ragged groups where many frames carry zero windows (skip_detector) —
+  // the windowed charge formula must still match the per-frame run.
+  const sim::Clip clip = MakeClip();
+  const auto trained = MakeTrained(clip);
+  PipelineConfig config;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.9;
+  config.sampling_gap = 2;
+  CheckBatchInvariance(config, trained.get(), clip);
+}
+
 TEST(PipelineBatchTest, BatchingAmortizesFullFrameInvocationOverhead) {
   const sim::Clip clip = MakeClip(64);
   PipelineConfig config;  // Full-frame detection on every frame.

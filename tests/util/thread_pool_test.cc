@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 namespace otif {
@@ -57,6 +58,30 @@ TEST(ThreadPoolTest, ZeroAndEmptyBatches) {
   EXPECT_EQ(ran, 0);
   pool.ParallelFor(1, [&](int64_t) { ++ran; });
   EXPECT_EQ(ran, 1);
+}
+
+TEST(ParseWorkerEnvTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::ParseWorkerEnv("1", 8), 1);
+  EXPECT_EQ(ThreadPool::ParseWorkerEnv("4", 8), 4);
+  EXPECT_EQ(ThreadPool::ParseWorkerEnv("64", 8), 64);
+}
+
+TEST(ParseWorkerEnvTest, RejectsInvalidValuesWithWarning) {
+  // Each rejected value falls back and logs a warning naming the value.
+  // (strtol skips leading whitespace, so " 4" would parse; not tested.)
+  for (const char* bad : {"", "abc", "4x", "0", "-2", "1e3"}) {
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(ThreadPool::ParseWorkerEnv(bad, 6), 6) << "value \"" << bad
+                                                     << "\"";
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("OTIF_WORKERS"), std::string::npos) << log;
+    EXPECT_NE(log.find(bad), std::string::npos) << log;
+    EXPECT_NE(log.find("6"), std::string::npos) << log;  // Names the fallback.
+  }
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(ThreadPool::ParseWorkerEnv(nullptr, 3), 3);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("OTIF_WORKERS"),
+            std::string::npos);
 }
 
 TEST(ThreadPoolTest, DefaultPoolIsReplaceable) {

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: clean configure + build + full test suite, a smoke
 # run of bench_throughput that validates the emitted JSON telemetry report,
-# a timeline-trace capture validated as Chrome trace-event JSON, a
+# a streaming-executor smoke run (validates the cross-clip batch telemetry
+# sections and that streaming detector batches exceed the serial ones), a
+# timeline-trace capture validated as Chrome trace-event JSON, a
 # mechanics test of the perf-baseline regression gate (self-compare must
 # pass, a perturbed baseline must fail), then a ThreadSanitizer build of
 # the concurrency-sensitive tests (thread pool, telemetry registry/spans,
-# timeline ring buffers, proxy score cache, staged-pipeline determinism).
+# timeline ring buffers, proxy score cache, staged-pipeline determinism,
+# executor channels/batcher, cross-executor equivalence).
 #
 # Usage: tools/check.sh [--skip-tsan] [--compare-baseline]
 #   --compare-baseline  additionally re-measures and diffs against the
@@ -84,6 +87,47 @@ OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput 4 60 \
   | python3 -c "$VALIDATE_THROUGHPUT"
 require_pipe_ok "${PIPESTATUS[@]}"
 
+echo "== smoke: streaming executor report + cross-clip batching win =="
+# The streaming run must emit the executor telemetry sections (batch fill,
+# channel occupancy) and actually batch across clips: its mean detector
+# batch size at the widest sweep point must exceed the serial run's, whose
+# batches can never span a clip (and so never exceed frame_batch).
+VALIDATE_STREAMING='
+import json, sys
+
+with open(sys.argv[1]) as f:
+    serial = json.load(f)
+report = json.load(sys.stdin)
+
+assert report["executor"] == "streaming", report.get("executor")
+assert serial["executor"] == "serial", serial.get("executor")
+results = report["results"]
+assert results, "empty results"
+for entry in results:
+    for section in ("proxy", "detect"):
+        fill = entry["batch_fill"][section]
+        for key in ("mean_frames", "p50", "p99"):
+            assert key in fill, fill
+    for ch in ("proxy", "detect", "commit"):
+        depth = entry["executor_queue_depth"][ch]
+        for key in ("p50", "p99"):
+            assert key in depth, depth
+streaming_mean = results[-1]["detect_batch"]["mean_frames"]
+serial_mean = serial["results"][-1]["detect_batch"]["mean_frames"]
+assert streaming_mean > serial_mean, (
+    f"cross-clip batching did not grow detector batches: "
+    f"streaming {streaming_mean} <= serial {serial_mean}")
+print(f"streaming report ok: {len(results)} sweep points, detector batch "
+      f"{streaming_mean:.1f} frames vs {serial_mean:.1f} serial")
+'
+OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput --executor=serial \
+  8 120 > build/throughput_serial_8x120.json
+OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput --executor=streaming \
+  8 120 \
+  | tee build/throughput_streaming_report.json \
+  | python3 -c "$VALIDATE_STREAMING" build/throughput_serial_8x120.json
+require_pipe_ok "${PIPESTATUS[@]}"
+
 echo "== smoke: timeline trace capture (Chrome trace-event JSON) =="
 VALIDATE_TIMELINE='
 import json, sys
@@ -120,9 +164,11 @@ OTIF_LOG_LEVEL=warning OTIF_BENCH_JSON=build/fig6_cost.json \
   OTIF_BENCH_SCALE=tiny ./build/bench/bench_fig6_cost_breakdown > /dev/null
 python3 tools/bench_baseline.py record --out build/BENCH_selftest.json \
   --from-throughput build/throughput_report.json \
+  --from-throughput-streaming build/throughput_streaming_report.json \
   --from-cost build/fig6_cost.json
 python3 tools/bench_baseline.py compare --baseline build/BENCH_selftest.json \
   --from-throughput build/throughput_report.json \
+  --from-throughput-streaming build/throughput_streaming_report.json \
   --from-cost build/fig6_cost.json > /dev/null
 python3 - build/BENCH_selftest.json build/BENCH_perturbed.json <<'EOF'
 import json, sys
@@ -136,6 +182,7 @@ EOF
 if python3 tools/bench_baseline.py compare \
     --baseline build/BENCH_perturbed.json \
     --from-throughput build/throughput_report.json \
+    --from-throughput-streaming build/throughput_streaming_report.json \
     --from-cost build/fig6_cost.json > /dev/null; then
   echo "ERROR: baseline gate failed to flag a synthetic 10x regression" >&2
   exit 1
@@ -160,6 +207,6 @@ echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/util_test \
   --gtest_filter='ThreadPool*:Telemetry*:Trace*:TraceTimeline*'
 ./build-tsan/tests/core_test \
-  --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*'
+  --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*:Channel*:CrossClipBatcher*:StreamingExecutor*'
 
 echo "== all checks passed =="
