@@ -334,6 +334,10 @@ void SourceLoop(StreamingExecutor::RunState* s, const PipelineConfig& config,
     Group g;
     g.clip_index = cur.clip_index;
     g.group_index = cur.group++;
+    // Fresh contexts per group; their frame buffers (low_res_frame and the
+    // stage tensors filled downstream) recycle through the shared
+    // mem::BufferPool, so per-group construction stays heap-quiet once the
+    // pool is warm.
     g.ctxs.reserve(static_cast<size_t>(config.frame_batch));
     for (int b = 0; b < config.frame_batch && cur.frame < clip.num_frames();
          ++b, cur.frame += config.sampling_gap) {

@@ -33,7 +33,8 @@ struct FrameContext {
   /// Proxy saw an empty frame: the detector can be skipped entirely.
   bool skip_detector = false;
   /// Low-resolution render of the frame (reused by TrackStage for
-  /// appearance statistics when available).
+  /// appearance statistics when available). Pixels come from the shared
+  /// mem::BufferPool and are re-rendered in place across batches.
   video::Image low_res_frame;
   bool have_low_res_frame = false;
   /// Native-coordinate detector windows covering positive proxy cells.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "mem/view.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -31,19 +32,35 @@ ProxyModel::ProxyModel(ProxyResolution resolution, uint64_t seed)
   optimizer_ = std::make_unique<nn::Adam>(std::move(params), opts);
 }
 
+void ProxyModel::FillInputSlice(const video::Image& frame, nn::Tensor* batch,
+                                int b) const {
+  OTIF_CHECK(batch != nullptr);
+  const int rh = resolution_.raster_h(), rw = resolution_.raster_w();
+  const int nd = batch->ndim();
+  OTIF_CHECK(nd == 3 || nd == 4) << "batch must be (1,H,W) or (N,1,H,W)";
+  OTIF_CHECK_EQ(batch->dim(nd - 2), rh);
+  OTIF_CHECK_EQ(batch->dim(nd - 1), rw);
+  OTIF_CHECK(b >= 0 && b < (nd == 4 ? batch->dim(0) : 1)) << b;
+  OTIF_CHECK(!frame.empty());
+  const size_t plane = static_cast<size_t>(rh) * rw;
+  float* dst = batch->data() + static_cast<size_t>(b) * plane;
+  if (frame.width() == rw && frame.height() == rh) {
+    // Already at raster size: stream pixels straight into the slice,
+    // centering around zero for conditioning. No copy, no temporary.
+    const float* src = frame.data();
+    for (size_t i = 0; i < plane; ++i) dst[i] = src[i] - 0.5f;
+  } else {
+    // Resize directly into the slice, then center in place. Same float op
+    // order as resize-then-subtract through a temporary image.
+    frame.ResizedInto(mem::ImageView{dst, rw, rh, rw});
+    for (size_t i = 0; i < plane; ++i) dst[i] -= 0.5f;
+  }
+}
+
 nn::Tensor ProxyModel::ImageToTensor(const video::Image& frame) const {
-  video::Image sized = frame;
-  if (frame.width() != resolution_.raster_w() ||
-      frame.height() != resolution_.raster_h()) {
-    sized = frame.Resized(resolution_.raster_w(), resolution_.raster_h());
-  }
-  nn::Tensor t({1, resolution_.raster_h(), resolution_.raster_w()});
-  for (int y = 0; y < sized.height(); ++y) {
-    for (int x = 0; x < sized.width(); ++x) {
-      // Center pixel values around zero for conditioning.
-      t.at3(0, y, x) = sized.at(x, y) - 0.5f;
-    }
-  }
+  nn::Tensor t = nn::Tensor::Uninitialized(
+      {1, resolution_.raster_h(), resolution_.raster_w()});
+  FillInputSlice(frame, &t, 0);
   return t;
 }
 
@@ -74,12 +91,12 @@ std::vector<nn::Tensor> ProxyModel::ScoreBatch(
   if (frames.empty()) return out;
   const int rh = resolution_.raster_h(), rw = resolution_.raster_w();
   const int nb = static_cast<int>(frames.size());
-  nn::Tensor batch({nb, 1, rh, rw});
-  const size_t plane = static_cast<size_t>(rh) * rw;
+  // Each frame stages directly into its batch slice — no per-frame tensor,
+  // no copy; the batch buffer itself comes from the shared pool.
+  nn::Tensor batch = nn::Tensor::Uninitialized({nb, 1, rh, rw});
   for (int b = 0; b < nb; ++b) {
     OTIF_CHECK(frames[b] != nullptr);
-    const nn::Tensor one = ImageToTensor(*frames[b]);
-    std::copy(one.data(), one.data() + plane, batch.data() + b * plane);
+    FillInputSlice(*frames[b], &batch, b);
   }
   nn::Tensor logits = net_.Infer(batch);
   OTIF_CHECK_EQ(logits.ndim(), 4);

@@ -64,6 +64,15 @@ class ProxyModel {
   std::vector<nn::Tensor> ScoreBatch(
       const std::vector<const video::Image*>& frames) const;
 
+  /// Fused resize + zero-centering of `frame` written directly into batch
+  /// element `b` of a (N, 1, raster_h, raster_w) tensor (or element 0 of
+  /// the (1, raster_h, raster_w) single-frame form): the zero-copy input
+  /// staging path. A frame already at raster size streams through one
+  /// subtract pass without the intermediate image copy; other sizes resize
+  /// straight into the slice. Bit-identical to the old copy path.
+  void FillInputSlice(const video::Image& frame, nn::Tensor* batch,
+                      int b) const;
+
   /// One training step on (frame, cell labels); returns the BCE loss.
   /// `labels` must be (grid_h, grid_w) with 0/1 entries.
   double TrainStep(const video::Image& frame, const nn::Tensor& labels);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/buffer_pool.h"
+
 namespace otif::nn {
 namespace {
 
@@ -29,6 +31,10 @@ float* ScratchArena::Alloc(size_t n) {
   // chunk (existing chunks are never moved — live pointers stay valid).
   size_t size = std::max(n, kMinChunkFloats);
   if (!chunks_.empty()) size = std::max(size, 2 * chunks_.back().size);
+  // Chunk growth is a real hot-path heap allocation; report it to the
+  // shared pool so im2col scratch shows up in the same accounting as the
+  // frame-buffer misses (bench memory section, mem.arena.* gauges).
+  mem::BufferPool::Global().NoteArenaAlloc(size * sizeof(float));
   chunks_.push_back(Chunk{std::make_unique<float[]>(size), size});
   chunk_index_ = chunks_.size() - 1;
   offset_ = n;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/buffer_pool.h"
+#include "mem/view.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -14,25 +16,62 @@ namespace otif::nn {
 /// width) and 4-D tensors as a batch (batch, channels, height, width).
 /// Designed for single-example training of small models on CPU; inference
 /// paths accept the batched 4-D form.
+///
+/// Element storage comes from the shared mem::BufferPool: steady-state
+/// inference recycles pooled buffers instead of allocating. Construction
+/// zero-fills as before; Uninitialized() skips the fill for buffers whose
+/// every element is written before any read (batch staging, output planes).
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
-    int64_t n = 1;
-    for (int d : shape_) {
-      OTIF_CHECK_GT(d, 0);
-      n *= d;
+  explicit Tensor(std::vector<int> shape) : Tensor(std::move(shape), true) {}
+
+  /// Like the shape constructor but leaves the elements unspecified
+  /// (possibly recycled pool contents). Callers must write every element
+  /// before reading any.
+  static Tensor Uninitialized(std::vector<int> shape) {
+    return Tensor(std::move(shape), false);
+  }
+
+  Tensor(const Tensor& o) { *this = o; }
+  Tensor& operator=(const Tensor& o) {
+    if (this == &o) return *this;
+    shape_ = o.shape_;
+    if (!buffer_ || buffer_.capacity() < static_cast<size_t>(o.size_) ||
+        !buffer_.unique()) {
+      buffer_ = mem::BufferPool::Global().Acquire(
+          static_cast<size_t>(o.size_));
     }
-    data_.assign(static_cast<size_t>(n), 0.0f);
+    size_ = o.size_;
+    if (size_ > 0) std::copy(o.data(), o.data() + size_, data());
+    return *this;
+  }
+  Tensor(Tensor&& o) noexcept
+      : shape_(std::move(o.shape_)), size_(o.size_),
+        buffer_(std::move(o.buffer_)) {
+    o.shape_.clear();
+    o.size_ = 0;
+  }
+  Tensor& operator=(Tensor&& o) noexcept {
+    if (this == &o) return *this;
+    shape_ = std::move(o.shape_);
+    size_ = o.size_;
+    buffer_ = std::move(o.buffer_);
+    o.shape_.clear();
+    o.size_ = 0;
+    return *this;
   }
 
   static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
 
   /// He-style initialization: normal with std sqrt(2 / fan_in).
   static Tensor RandomHe(std::vector<int> shape, int fan_in, Rng* rng) {
-    Tensor t(std::move(shape));
+    Tensor t = Uninitialized(std::move(shape));
     const double std = std::sqrt(2.0 / std::max(1, fan_in));
-    for (float& v : t.data_) v = static_cast<float>(rng->Gaussian(0.0, std));
+    float* d = t.data();
+    for (int64_t i = 0; i < t.size_; ++i) {
+      d[i] = static_cast<float>(rng->Gaussian(0.0, std));
+    }
     return t;
   }
 
@@ -42,47 +81,77 @@ class Tensor {
     return shape_[static_cast<size_t>(i)];
   }
   int ndim() const { return static_cast<int>(shape_.size()); }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float* data() { return buffer_.data(); }
+  const float* data() const { return buffer_.data(); }
+  float& operator[](int64_t i) { return data()[i]; }
+  float operator[](int64_t i) const { return data()[i]; }
+
+  /// Borrows the elements as a non-owning dense view (see mem/view.h for
+  /// lifetime rules). Tensors are at most 4-D by construction.
+  mem::TensorView view() {
+    mem::TensorView v;
+    v.data = data();
+    v.ndim = ndim();
+    for (int i = 0; i < v.ndim; ++i) v.shape[i] = shape_[static_cast<size_t>(i)];
+    return v;
+  }
 
   /// 3-D accessor (c, y, x) for (C, H, W) tensors.
   float& at3(int c, int y, int x) {
-    return data_[Index3(c, y, x)];
+    return data()[Index3(c, y, x)];
   }
-  float at3(int c, int y, int x) const { return data_[Index3(c, y, x)]; }
+  float at3(int c, int y, int x) const { return data()[Index3(c, y, x)]; }
 
   /// 4-D accessor (n, c, y, x) for batched (N, C, H, W) tensors.
-  float& at4(int n, int c, int y, int x) { return data_[Index4(n, c, y, x)]; }
+  float& at4(int n, int c, int y, int x) { return data()[Index4(n, c, y, x)]; }
   float at4(int n, int c, int y, int x) const {
-    return data_[Index4(n, c, y, x)];
+    return data()[Index4(n, c, y, x)];
   }
 
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(float v) {
+    float* d = data();
+    for (int64_t i = 0; i < size_; ++i) d[i] = v;
+  }
 
   /// Elementwise in-place addition; shapes must match.
   void Add(const Tensor& o) {
     OTIF_CHECK_EQ(size(), o.size());
-    for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    float* d = data();
+    const float* s = o.data();
+    for (int64_t i = 0; i < size_; ++i) d[i] += s[i];
   }
 
   /// In-place scale.
   void Scale(float s) {
-    for (float& v : data_) v *= s;
+    float* d = data();
+    for (int64_t i = 0; i < size_; ++i) d[i] *= s;
   }
 
   /// Sum of squared entries (for gradient-norm diagnostics).
   double SumSquares() const {
     double s = 0.0;
-    for (float v : data_) s += static_cast<double>(v) * v;
+    const float* d = data();
+    for (int64_t i = 0; i < size_; ++i) {
+      s += static_cast<double>(d[i]) * d[i];
+    }
     return s;
   }
 
  private:
+  Tensor(std::vector<int> shape, bool zero_fill) : shape_(std::move(shape)) {
+    int64_t n = 1;
+    for (int d : shape_) {
+      OTIF_CHECK_GT(d, 0);
+      n *= d;
+    }
+    buffer_ = mem::BufferPool::Global().Acquire(static_cast<size_t>(n));
+    size_ = n;
+    if (zero_fill) Fill(0.0f);
+  }
+
   size_t Index3(int c, int y, int x) const {
     OTIF_CHECK_EQ(shape_.size(), 3u);
     OTIF_CHECK(c >= 0 && c < shape_[0] && y >= 0 && y < shape_[1] && x >= 0 &&
@@ -102,7 +171,8 @@ class Tensor {
   }
 
   std::vector<int> shape_;
-  std::vector<float> data_;
+  int64_t size_ = 0;
+  mem::PooledBuffer buffer_;
 };
 
 }  // namespace otif::nn

@@ -37,7 +37,9 @@ class Rasterizer {
 
   /// Renders into `out`, reusing its pixel buffer when the capacity fits
   /// (the driver re-renders into per-slot FrameContext images to avoid
-  /// per-batch allocation churn). Same output as Render.
+  /// per-batch allocation churn; buffers come from the shared
+  /// mem::BufferPool, so even a cold `out` is a pool hit at steady state).
+  /// Same output as Render.
   void RenderInto(int frame, int width, int height, video::Image* out);
 
   /// Renders the static background only (no objects, no noise); exposed for

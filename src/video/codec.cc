@@ -199,16 +199,23 @@ StatusOr<EncodedVideo> Encoder::Encode(
   video.height = height;
   video.frames.reserve(frames.size());
 
+  // Hoisted scratch: recon ping-pongs with reference via the swap below,
+  // and the symbol vectors keep their capacity across frames, so the encode
+  // loop is allocation-free at steady state.
   Image reference;  // Previous reconstructed frame.
+  Image recon;
+  std::vector<int> deltas;
+  std::vector<int> residual;
   for (size_t t = 0; t < frames.size(); ++t) {
     const Image& frame = frames[t];
     EncodedFrame encoded;
     encoded.is_intra = (t % static_cast<size_t>(config_.gop_size) == 0);
 
-    Image recon(width, height);
+    // Every pixel of recon is written below (intra rows / all P blocks).
+    recon.ResizeUninitialized(width, height);
     if (encoded.is_intra) {
       // Intra: quantize, delta-encode left-to-right per row, RLE zeros.
-      std::vector<int> deltas;
+      deltas.clear();
       deltas.reserve(frame.size());
       for (int y = 0; y < height; ++y) {
         int prev = 0;
@@ -230,8 +237,9 @@ StatusOr<EncodedVideo> Encoder::Encode(
           const int bw = std::min(config_.block_size, width - bx);
           const MotionVector mv = SearchMotion(frame, reference, bx, by, bw,
                                                bh, config_.search_radius);
-          // Residual against the motion-compensated prediction.
-          std::vector<int> residual(static_cast<size_t>(bw) * bh);
+          // Residual against the motion-compensated prediction (fully
+          // rewritten below, so resize without clearing).
+          residual.resize(static_cast<size_t>(bw) * bh);
           float mean_abs = 0.0f;
           for (int y = 0; y < bh; ++y) {
             const float* cur_row = frame.row(by + y) + bx;
@@ -268,7 +276,7 @@ StatusOr<EncodedVideo> Encoder::Encode(
         }
       }
     }
-    reference = std::move(recon);
+    std::swap(reference, recon);
     video.frames.push_back(std::move(encoded));
   }
   return video;
@@ -283,11 +291,15 @@ Status Decoder::DecodeInto(int index, DecodeStats* stats) {
   const int width = video_->width;
   const int height = video_->height;
   const CodecConfig& config = video_->config;
-  Image recon(width, height);
+  // Member scratch: every pixel of recon_ is written below (intra frames
+  // write all rows, P-frames cover every block), so stale contents from the
+  // previous frame are never read.
+  recon_.ResizeUninitialized(width, height);
+  Image& recon = recon_;
   size_t pos = 0;
 
   if (encoded.is_intra) {
-    std::vector<int> deltas;
+    std::vector<int>& deltas = delta_scratch_;
     DecodeResidualSeq(encoded.payload, &pos,
                       static_cast<size_t>(width) * height, &deltas);
     size_t i = 0;
@@ -305,7 +317,7 @@ Status Decoder::DecodeInto(int index, DecodeStats* stats) {
       return Status::FailedPrecondition(
           "P-frame decoded without its reference");
     }
-    std::vector<int> residual;
+    std::vector<int>& residual = residual_scratch_;
     for (int by = 0; by < height; by += config.block_size) {
       const int bh = std::min(config.block_size, height - by);
       for (int bx = 0; bx < width; bx += config.block_size) {
@@ -341,32 +353,45 @@ Status Decoder::DecodeInto(int index, DecodeStats* stats) {
     stats->pixels_decoded += static_cast<int64_t>(width) * height;
     stats->bytes_read += static_cast<int64_t>(encoded.payload.size());
   }
-  reference_ = std::move(recon);
+  // Swap instead of move: reference_'s old buffer becomes next frame's
+  // recon_ scratch, so sequential decoding ping-pongs two pooled buffers.
+  std::swap(reference_, recon_);
   reference_index_ = index;
   return Status::OK();
 }
 
-StatusOr<Image> Decoder::DecodeFrame(int index, DecodeStats* stats) {
+Status Decoder::DecodeFrameInto(int index, DecodeStats* stats, Image* out) {
+  OTIF_CHECK(out != nullptr);
   if (index < 0 || index >= num_frames()) {
     return Status::OutOfRange("frame index out of range");
   }
-  if (index == reference_index_) return reference_;
-  // Two ways to reach `index`: continue forward from the current reference,
-  // or restart from the nearest preceding I-frame. Take whichever decodes
-  // fewer frames.
-  int anchor = index;
-  while (anchor > 0 && !video_->frames[static_cast<size_t>(anchor)].is_intra) {
-    --anchor;
+  if (index != reference_index_) {
+    // Two ways to reach `index`: continue forward from the current
+    // reference, or restart from the nearest preceding I-frame. Take
+    // whichever decodes fewer frames.
+    int anchor = index;
+    while (anchor > 0 &&
+           !video_->frames[static_cast<size_t>(anchor)].is_intra) {
+      --anchor;
+    }
+    int start = anchor;
+    if (reference_index_ >= 0 && reference_index_ < index &&
+        reference_index_ + 1 > anchor) {
+      start = reference_index_ + 1;
+    }
+    for (int t = start; t <= index; ++t) {
+      OTIF_RETURN_IF_ERROR(DecodeInto(t, stats));
+    }
   }
-  int start = anchor;
-  if (reference_index_ >= 0 && reference_index_ < index &&
-      reference_index_ + 1 > anchor) {
-    start = reference_index_ + 1;
-  }
-  for (int t = start; t <= index; ++t) {
-    OTIF_RETURN_IF_ERROR(DecodeInto(t, stats));
-  }
-  return reference_;
+  // Copy-assignment reuses out's pixel buffer when the capacity fits.
+  *out = reference_;
+  return Status::OK();
+}
+
+StatusOr<Image> Decoder::DecodeFrame(int index, DecodeStats* stats) {
+  Image out;
+  OTIF_RETURN_IF_ERROR(DecodeFrameInto(index, stats, &out));
+  return out;
 }
 
 StatusOr<std::vector<Image>> Decoder::DecodeAll(DecodeStats* stats) {

@@ -73,6 +73,11 @@ class Encoder {
 /// Decodes frames from an EncodedVideo, maintaining reference state so that
 /// sequential decoding is O(1) per frame while random access decodes from
 /// the nearest preceding I-frame.
+///
+/// All decode scratch (the reconstruction image, the delta/residual symbol
+/// buffers) lives in reusable members, so sequential decoding is
+/// allocation-free at steady state; DecodeFrameInto additionally reuses the
+/// caller's output buffer.
 class Decoder {
  public:
   explicit Decoder(const EncodedVideo* video);
@@ -83,6 +88,10 @@ class Decoder {
   /// Accumulates work into `stats` when non-null.
   StatusOr<Image> DecodeFrame(int index, DecodeStats* stats);
 
+  /// DecodeFrame, but writing into `out` (pixel buffer reused when its
+  /// capacity fits — the zero-copy path for drivers with per-slot frames).
+  Status DecodeFrameInto(int index, DecodeStats* stats, Image* out);
+
   /// Decodes every frame in order.
   StatusOr<std::vector<Image>> DecodeAll(DecodeStats* stats);
 
@@ -91,6 +100,9 @@ class Decoder {
 
   const EncodedVideo* video_;  // Not owned.
   Image reference_;            // Last reconstructed frame.
+  Image recon_;                // Scratch: swapped with reference_ per frame.
+  std::vector<int> delta_scratch_;     // Intra-frame delta symbols.
+  std::vector<int> residual_scratch_;  // P-frame block residual symbols.
   int reference_index_ = -1;
 };
 

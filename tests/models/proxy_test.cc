@@ -75,6 +75,59 @@ TEST(ProxyModelTest, ScoreBatchEmptyIsNoop) {
   EXPECT_TRUE(model.ScoreBatch({}).empty());
 }
 
+TEST(ProxyModelTest, ScoreOfResizedFrameMatchesDirectScore) {
+  // The fused resize+center staging path must be bit-identical to resizing
+  // first and scoring the raster-size result.
+  ProxyModel model({160, 96}, 23);
+  video::Image big(80, 48, 0.0f);
+  for (int y = 0; y < big.height(); ++y) {
+    for (int x = 0; x < big.width(); ++x) {
+      big.set(x, y, static_cast<float>((x * 13 + y * 7) % 41) / 40.0f);
+    }
+  }
+  const video::Image sized =
+      big.Resized(model.resolution().raster_w(),
+                  model.resolution().raster_h());
+  const nn::Tensor via_resize = model.Score(sized);
+  const nn::Tensor fused = model.Score(big);
+  ASSERT_EQ(via_resize.shape(), fused.shape());
+  for (int64_t i = 0; i < via_resize.size(); ++i) {
+    ASSERT_EQ(via_resize[i], fused[i]) << "cell " << i;
+  }
+}
+
+TEST(ProxyModelTest, FillInputSliceWritesCenteredPixels) {
+  ProxyModel model({160, 96}, 24);
+  const int rw = model.resolution().raster_w();
+  const int rh = model.resolution().raster_h();
+  video::Image frame(rw, rh, 0.0f);
+  for (int y = 0; y < rh; ++y) {
+    for (int x = 0; x < rw; ++x) {
+      frame.set(x, y, static_cast<float>(x + y) / (rw + rh));
+    }
+  }
+  nn::Tensor batch({2, 1, rh, rw});
+  model.FillInputSlice(frame, &batch, 1);
+  for (int y = 0; y < rh; ++y) {
+    for (int x = 0; x < rw; ++x) {
+      ASSERT_EQ(batch.at4(1, 0, y, x), frame.at(x, y) - 0.5f)
+          << x << "," << y;
+    }
+  }
+  // Slice 0 untouched (still the constructor's zero fill).
+  EXPECT_EQ(batch.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(ProxyModelDeathTest, FillInputSliceValidatesShape) {
+  ProxyModel model({160, 96}, 25);
+  video::Image frame(40, 24, 0.5f);
+  nn::Tensor wrong({2, 1, 10, 10});
+  EXPECT_DEATH(model.FillInputSlice(frame, &wrong, 0), "Check failed");
+  nn::Tensor batch({2, 1, model.resolution().raster_h(),
+                    model.resolution().raster_w()});
+  EXPECT_DEATH(model.FillInputSlice(frame, &batch, 2), "Check failed");
+}
+
 TEST(ProxyModelTest, CellRectTilesFrame) {
   ProxyModel model({160, 96}, 2);
   const double fw = 320, fh = 240;

@@ -184,6 +184,54 @@ TEST(CodecTest, BackwardSeekWorks) {
   EXPECT_LT(frames[3].MeanAbsDiff(*img), 0.03f);
 }
 
+TEST(CodecTest, DecodeFrameIntoMatchesDecodeFrame) {
+  const auto frames = MovingSquareClip(20, 32, 32);
+  CodecConfig config;
+  config.gop_size = 8;
+  auto encoded = Encoder(config).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder by_value(&encoded.value());
+  Decoder into(&encoded.value());
+  Image out;
+  // Same access pattern (sequential, repeat, backward seek) through both
+  // APIs must produce bit-identical pixels and identical stats.
+  DecodeStats stats_value, stats_into;
+  for (const int f : {0, 1, 2, 7, 8, 15, 15, 3, 19}) {
+    auto want = by_value.DecodeFrame(f, &stats_value);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(into.DecodeFrameInto(f, &stats_into, &out).ok());
+    ASSERT_EQ(out.width(), want->width());
+    ASSERT_EQ(out.height(), want->height());
+    EXPECT_FLOAT_EQ(out.MeanAbsDiff(*want), 0.0f) << "frame " << f;
+  }
+  EXPECT_EQ(stats_into.frames_decoded, stats_value.frames_decoded);
+  EXPECT_EQ(stats_into.pixels_decoded, stats_value.pixels_decoded);
+}
+
+TEST(CodecTest, DecodeFrameIntoReusesOutputBuffer) {
+  const auto frames = MovingSquareClip(8, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  Image out;
+  ASSERT_TRUE(decoder.DecodeFrameInto(0, nullptr, &out).ok());
+  const float* buffer = out.data();
+  for (int f = 1; f < 8; ++f) {
+    ASSERT_TRUE(decoder.DecodeFrameInto(f, nullptr, &out).ok());
+    EXPECT_EQ(out.data(), buffer) << "frame " << f << " reallocated out";
+  }
+}
+
+TEST(CodecTest, DecodeFrameIntoOutOfRange) {
+  const auto frames = MovingSquareClip(4, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  Image out;
+  EXPECT_FALSE(decoder.DecodeFrameInto(4, nullptr, &out).ok());
+  EXPECT_FALSE(decoder.DecodeFrameInto(-1, nullptr, &out).ok());
+}
+
 // Property test: random noise frames still round-trip within quantization
 // error, and decode is deterministic.
 TEST(CodecPropertyTest, NoiseRoundTripAndDeterminism) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace otif::video {
 namespace {
 
@@ -85,6 +88,111 @@ TEST(ImageTest, MeanAbsDiff) {
   Image b(2, 2, 0.75f);
   EXPECT_NEAR(a.MeanAbsDiff(b), 0.25f, 1e-6f);
   EXPECT_FLOAT_EQ(a.MeanAbsDiff(a), 0.0f);
+}
+
+// --- Resized / ResizedInto equivalence and buffer-reuse semantics ----------
+
+Image TestPattern(int w, int h) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, static_cast<float>((x * 31 + y * 17) % 97) / 96.0f);
+    }
+  }
+  return img;
+}
+
+void ExpectBitIdentical(const Image& a, const Image& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      ASSERT_EQ(a.at(x, y), b.at(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(ImageResizedIntoTest, IdentitySizeMatchesResized) {
+  const Image src = TestPattern(10, 6);
+  Image out;
+  src.ResizedInto(10, 6, &out);
+  ExpectBitIdentical(out, src.Resized(10, 6));
+  // Identity-size resize is an area average with 1x1 cells: exact copy.
+  ExpectBitIdentical(out, src);
+}
+
+TEST(ImageResizedIntoTest, UpscaleMatchesResized) {
+  const Image src = TestPattern(5, 4);
+  Image out;
+  src.ResizedInto(13, 9, &out);
+  ExpectBitIdentical(out, src.Resized(13, 9));
+}
+
+TEST(ImageResizedIntoTest, NonIntegerRatioDownscaleMatchesResized) {
+  const Image src = TestPattern(10, 6);  // 10/4 and 6/3 mix ratios.
+  Image out;
+  src.ResizedInto(4, 3, &out);
+  ExpectBitIdentical(out, src.Resized(4, 3));
+  // Mixed direction (downscale x, upscale y) goes through bilinear.
+  Image mixed;
+  src.ResizedInto(4, 9, &mixed);
+  ExpectBitIdentical(mixed, src.Resized(4, 9));
+}
+
+TEST(ImageResizedIntoTest, AliasingSelfResizeIsSafe) {
+  const Image src = TestPattern(12, 8);
+  const Image want = src.Resized(5, 3);
+  Image img = src;
+  img.ResizedInto(5, 3, &img);  // out == this.
+  ExpectBitIdentical(img, want);
+  // Self-resize to the same size must also survive (full overlap).
+  Image same = src;
+  same.ResizedInto(12, 8, &same);
+  ExpectBitIdentical(same, src);
+}
+
+TEST(ImageResizedIntoTest, ReusesDestinationBuffer) {
+  const Image src = TestPattern(16, 12);
+  Image out(16, 12);  // Capacity >= any smaller resize target.
+  const float* before = out.data();
+  src.ResizedInto(8, 6, &out);
+  EXPECT_EQ(out.data(), before) << "fitting resize reallocated";
+  src.ResizedInto(4, 3, &out);
+  EXPECT_EQ(out.data(), before);
+}
+
+TEST(ImageResizedIntoTest, ViewTargetMatchesResized) {
+  const Image src = TestPattern(9, 7);
+  const Image want = src.Resized(4, 3);
+  std::vector<float> raw(4 * 3, -1.0f);
+  src.ResizedInto(mem::ImageView{raw.data(), 4, 3, 4});
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      ASSERT_EQ(raw[static_cast<size_t>(y) * 4 + x], want.at(x, y))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(ImageTest, CopyAssignReusesCapacityAndCopiesPixels) {
+  const Image src = TestPattern(6, 5);
+  Image dst(8, 8);  // Larger capacity than src needs.
+  const float* before = dst.data();
+  dst = src;
+  EXPECT_EQ(dst.data(), before) << "fitting copy-assign reallocated";
+  ExpectBitIdentical(dst, src);
+  // Source is untouched and independent: mutating dst must not alias src.
+  dst.set(0, 0, 0.123f);
+  EXPECT_NE(src.at(0, 0), 0.123f);
+}
+
+TEST(ImageTest, MoveLeavesSourceEmpty) {
+  Image src = TestPattern(4, 4);
+  const float* p = src.data();
+  Image dst = std::move(src);
+  EXPECT_EQ(dst.data(), p);
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(src.width(), 0);
 }
 
 }  // namespace

@@ -23,7 +23,10 @@ diffs it against the baseline and exits non-zero on regression:
     (default 0.50: generous, machines differ);
   * simulated seconds are deterministic for a given scale, so they gate at
     the much tighter --sim-tol (default 0.10);
-  * the proxy cache hit rate gates on an absolute drop of 0.05.
+  * the proxy cache hit rate gates on an absolute drop of 0.05;
+  * the buffer-pool memory section gates hard at the single-worker serial
+    sweep point: steady-state hot-loop allocations may not grow at all,
+    and the pool hit rate may not drop by more than 0.005 absolute.
 
 Worker counts present in only one of the two files (different machine
 widths) are skipped. Stage wall regressions below --wall-floor seconds are
@@ -94,6 +97,10 @@ def build_baseline(throughput, streaming, cost, args):
             "stage_wall_seconds": entry["stage_wall_seconds"],
             "queue_depth": entry["queue_depth"],
             "cache_hit_rate": entry["proxy_cache"]["hit_rate"],
+            "memory": {
+                "allocations": entry["memory"]["allocations"],
+                "pool_hit_rate": entry["memory"]["pool_hit_rate"],
+            },
         }
     streaming_sweep = {}
     for entry in streaming["results"]:
@@ -102,7 +109,7 @@ def build_baseline(throughput, streaming, cost, args):
             "detect_batch_mean": entry["detect_batch"]["mean_frames"],
         }
     return {
-        "schema": 2,
+        "schema": 3,
         "workload": {"clips": throughput["clips"],
                      "frames_per_clip": throughput["frames_per_clip"],
                      "scale": args.scale},
@@ -179,6 +186,30 @@ def cmd_compare(args):
                   b["stage_wall_seconds"].get(stage),
                   c["stage_wall_seconds"].get(stage), "lower-better-wall",
                   gate=(w == "1"))
+        if b.get("memory") is None:
+            if w == "1":
+                print("note: baseline predates the buffer pool "
+                      "(no memory section); skipping memory gates")
+        else:
+            bm, cm = b["memory"], c["memory"]
+            # Allocation counts are deterministic only in the single-worker
+            # serial replay; elsewhere they are scheduling-dependent info.
+            alloc_bad = cm["allocations"] > bm["allocations"]
+            rows.append((f"throughput[{w}].mem.allocations",
+                         bm["allocations"], cm["allocations"],
+                         0.0,
+                         ("FAIL" if alloc_bad else "ok") if w == "1"
+                         else "info"))
+            if w == "1" and alloc_bad:
+                failures.append(f"throughput[{w}].mem.allocations")
+            hit_bad = (bm["pool_hit_rate"] - cm["pool_hit_rate"]) > 0.005
+            rows.append((f"throughput[{w}].mem.pool_hit_rate",
+                         bm["pool_hit_rate"], cm["pool_hit_rate"],
+                         (cm["pool_hit_rate"] - bm["pool_hit_rate"]) * 100.0,
+                         ("FAIL" if hit_bad else "ok") if w == "1"
+                         else "info"))
+            if w == "1" and hit_bad:
+                failures.append(f"throughput[{w}].mem.pool_hit_rate")
 
     base_streaming = baseline.get("throughput_streaming")
     if base_streaming is None:

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: clean configure + build + full test suite, a smoke
-# run of bench_throughput that validates the emitted JSON telemetry report,
-# a streaming-executor smoke run (validates the cross-clip batch telemetry
+# run of bench_throughput that validates the emitted JSON telemetry report
+# (including the buffer-pool memory section: steady-state hot-loop
+# allocations must be exactly zero at the single-worker serial point), a
+# streaming-executor smoke run (validates the cross-clip batch telemetry
 # sections and that streaming detector batches exceed the serial ones), a
 # timeline-trace capture validated as Chrome trace-event JSON, a
 # mechanics test of the perf-baseline regression gate (self-compare must
-# pass, a perturbed baseline must fail), then a ThreadSanitizer build of
-# the concurrency-sensitive tests (thread pool, telemetry registry/spans,
-# timeline ring buffers, proxy score cache, staged-pipeline determinism,
-# executor channels/batcher, cross-executor equivalence).
+# pass, a perturbed baseline must fail), a microbench gate that the fused
+# pooled batch-staging path beats the pre-pool copy path, then a
+# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
+# buffer pool, telemetry registry/spans, timeline ring buffers, proxy
+# score cache, staged-pipeline determinism, executor channels/batcher,
+# cross-executor equivalence).
 #
 # Usage: tools/check.sh [--skip-tsan] [--compare-baseline]
 #   --compare-baseline  additionally re-measures and diffs against the
@@ -72,11 +76,29 @@ for entry in results:
     cache = entry["proxy_cache"]
     for key in ("hits", "misses", "evictions", "hit_rate"):
         assert key in cache, cache
+    mem = entry["memory"]
+    for key in ("pool_hits", "pool_misses", "arena_allocations",
+                "allocations", "allocations_per_clip", "pool_hit_rate",
+                "bytes_in_flight", "bytes_retained", "arena_bytes_reserved"):
+        assert key in mem, mem
+    # Frame buffers recycle through mem::BufferPool: at steady state the
+    # serial hot loop must run essentially allocation-free. Multi-worker
+    # entries see occasional scheduling-dependent liveness peaks, so only
+    # the single-worker entry (an exact replay of its warm-up) gets the
+    # strict bar: hit rate >= 0.99 and exactly zero allocations.
+    if entry["workers"] == 1:
+        assert mem["pool_hit_rate"] >= 0.99, mem
+        assert mem["allocations"] == 0, mem
+    else:
+        assert mem["pool_hit_rate"] >= 0.95, (entry["workers"], mem)
 telemetry = report["telemetry"]
 for section in ("counters", "gauges", "histograms", "spans"):
     assert section in telemetry, section
 assert "stage/detect" in telemetry["spans"], sorted(telemetry["spans"])
 assert "threadpool.tasks_executed" in telemetry["counters"]
+for gauge in ("mem.pool.bytes_in_flight", "mem.pool.hit_rate",
+              "mem.pool.allocations_per_clip", "mem.arena.bytes_reserved"):
+    assert gauge in telemetry["gauges"], sorted(telemetry["gauges"])
 for hist in telemetry["histograms"].values():
     for key in ("p50", "p90", "p99"):
         assert key in hist, hist
@@ -112,6 +134,13 @@ for entry in results:
         depth = entry["executor_queue_depth"][ch]
         for key in ("p50", "p99"):
             assert key in depth, depth
+    mem = entry["memory"]
+    for key in ("allocations", "pool_hit_rate", "bytes_in_flight"):
+        assert key in mem, mem
+    # Streaming stage threads make the first sweep point pool warm-up
+    # scheduling-dependent, so the bar is a high hit rate rather than the
+    # exact-zero allocation count demanded of the serial executor.
+    assert mem["pool_hit_rate"] >= 0.9, (entry["workers"], mem)
 streaming_mean = results[-1]["detect_batch"]["mean_frames"]
 serial_mean = serial["results"][-1]["detect_batch"]["mean_frames"]
 assert streaming_mean > serial_mean, (
@@ -189,6 +218,30 @@ if python3 tools/bench_baseline.py compare \
 fi
 echo "baseline gate ok: self-compare passed, synthetic regression flagged"
 
+echo "== perf: pooled batch staging vs copy path =="
+# The fused FillInputSlice path must beat the pre-pool staging path (Image
+# copy + staging tensor + std::copy) by a clear margin, not just tie it.
+VALIDATE_STAGING='
+import json, sys
+
+report = json.load(sys.stdin)
+
+times = {}
+for bench in report["benchmarks"]:
+    times[bench["name"]] = bench["cpu_time"]
+copy = times["BM_ScoreBatchCopyPath/8"]
+pooled = times["BM_ScoreBatchPooled/8"]
+ratio = copy / pooled
+assert ratio >= 1.2, (
+    f"pooled staging not faster: copy {copy:.0f}ns vs pooled "
+    f"{pooled:.0f}ns ({ratio:.2f}x < 1.2x)")
+print(f"staging gate ok: pooled {ratio:.1f}x faster than copy path")
+'
+OTIF_LOG_LEVEL=warning ./build/bench/bench_micro_components \
+  --benchmark_filter='BM_ScoreBatch' --benchmark_format=json 2>/dev/null \
+  | python3 -c "$VALIDATE_STAGING"
+require_pipe_ok "${PIPESTATUS[@]}"
+
 if [[ "$COMPARE_BASELINE" == "1" ]]; then
   echo "== perf: compare against committed BENCH_baseline.json =="
   python3 tools/bench_baseline.py compare --baseline BENCH_baseline.json
@@ -201,11 +254,12 @@ fi
 
 echo "== tsan: build concurrency tests =="
 cmake -B build-tsan -S . -DOTIF_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target util_test core_test
+cmake --build build-tsan -j --target util_test mem_test core_test
 
 echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/util_test \
   --gtest_filter='ThreadPool*:Telemetry*:Trace*:TraceTimeline*'
+./build-tsan/tests/mem_test --gtest_filter='BufferPool*'
 ./build-tsan/tests/core_test \
   --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*:Channel*:CrossClipBatcher*:StreamingExecutor*'
 
