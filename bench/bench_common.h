@@ -5,17 +5,22 @@
 #include <cstring>
 
 #include "core/otif.h"
+#include "obs/introspection_server.h"
 #include "util/logging.h"
 #include "util/trace_timeline.h"
 
 namespace otif::bench {
 
 /// The one startup hook every bench binary runs (directly or via
-/// BenchScale): applies OTIF_LOG_LEVEL and arms the timeline tracer /
-/// flight recorder from the environment (OTIF_TRACE_TIMELINE,
-/// OTIF_DUMP_ON_ERROR, ...). Keep per-binary env parsing out of bench
-/// mains — add shared switches here.
-inline void BenchInit() { InitObservabilityFromEnv(); }
+/// BenchScale): applies OTIF_LOG_LEVEL, arms the timeline tracer / flight
+/// recorder from the environment (OTIF_TRACE_TIMELINE, OTIF_DUMP_ON_ERROR,
+/// ...), and starts the live introspection server / headless progress
+/// logger when asked (OTIF_METRICS_PORT, OTIF_PROGRESS_SEC). Keep
+/// per-binary env parsing out of bench mains — add shared switches here.
+inline void BenchInit() {
+  InitObservabilityFromEnv();
+  obs::InitIntrospectionFromEnv();
+}
 
 /// Experiment scale shared by the table/figure harnesses. Paper scale is 60
 /// one-minute clips per split; CPU budgets here default to a few short

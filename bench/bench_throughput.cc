@@ -40,6 +40,7 @@
 #include "core/executor/streaming_executor.h"
 #include "core/pipeline.h"
 #include "mem/buffer_pool.h"
+#include "obs/run_progress.h"
 #include "models/cost_model.h"
 #include "models/proxy.h"
 #include "sim/dataset.h"
@@ -53,6 +54,18 @@ namespace {
 
 double RunOnce(const otif::core::Pipeline& pipeline,
                const std::vector<otif::sim::Clip>& clips) {
+  // Live-progress run registration (no-op without OTIF_METRICS_PORT /
+  // OTIF_PROGRESS_SEC); the streaming path registers inside executor.Run.
+  if (otif::obs::ProgressEnabled()) {
+    const int gap = pipeline.config().sampling_gap;
+    std::vector<int64_t> totals;
+    totals.reserve(clips.size());
+    for (const otif::sim::Clip& clip : clips) {
+      totals.push_back((clip.num_frames() + gap - 1) / gap);
+    }
+    otif::obs::RunProgress::Global().BeginRun("bench_serial",
+                                              std::move(totals));
+  }
   const auto start = std::chrono::steady_clock::now();
   std::vector<otif::core::PipelineResult> results = otif::ParallelMap(
       otif::ThreadPool::Default(), static_cast<int64_t>(clips.size()),
@@ -62,6 +75,9 @@ double RunOnce(const otif::core::Pipeline& pipeline,
         return pipeline.Run(clips[static_cast<size_t>(i)]);
       });
   const auto end = std::chrono::steady_clock::now();
+  if (otif::obs::ProgressEnabled()) {
+    otif::obs::RunProgress::Global().EndRun();
+  }
   // Keep the results observable so the work cannot be optimized away.
   int64_t total_tracks = 0;
   for (const auto& r : results) total_tracks += static_cast<int64_t>(r.tracks.size());
@@ -340,6 +356,23 @@ int main(int argc, char** argv) {
   report.Key("telemetry").RawValue(otif::telemetry::SnapshotToJson(snapshot));
   report.EndObject();
   std::printf("%s\n", std::move(report).TakeString().c_str());
+  std::fflush(stdout);
+
+  // Induced-stall hook for the check.sh watchdog smoke test: begin a
+  // synthetic run, commit one frame, then sit idle so /healthz flips to
+  // stalled once OTIF_STALL_SEC passes without another commit.
+  if (const char* stall_env = std::getenv("OTIF_BENCH_STALL_SEC")) {
+    const double stall_seconds = std::atof(stall_env);
+    if (stall_seconds > 0.0) {
+      otif::obs::SetProgressEnabled(true);
+      otif::obs::RunProgress::Global().BeginRun("induced_stall",
+                                                std::vector<int64_t>{2});
+      otif::obs::RunProgress::Global().OnFramesCommitted(0, 1);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(stall_seconds));
+      otif::obs::RunProgress::Global().EndRun();
+    }
+  }
   otif::ThreadPool::SetDefaultThreads(1);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/otif.h"
 #include "eval/workload.h"
 #include "sim/raster.h"
+#include "obs/introspection_server.h"
 #include "util/trace_timeline.h"
 
 int main() {
@@ -17,6 +18,7 @@ int main() {
 
   // OTIF_LOG_LEVEL / OTIF_TRACE_TIMELINE / OTIF_DUMP_ON_ERROR.
   InitObservabilityFromEnv();
+  otif::obs::InitIntrospectionFromEnv();
 
   const eval::TrackWorkload workload =
       eval::MakeTrackWorkload(sim::DatasetId::kCaldot1);

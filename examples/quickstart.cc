@@ -9,6 +9,7 @@
 #include "core/otif.h"
 #include "eval/workload.h"
 #include "query/queries.h"
+#include "obs/introspection_server.h"
 #include "util/trace_timeline.h"
 
 int main() {
@@ -16,6 +17,7 @@ int main() {
 
   // OTIF_LOG_LEVEL / OTIF_TRACE_TIMELINE / OTIF_DUMP_ON_ERROR.
   InitObservabilityFromEnv();
+  otif::obs::InitIntrospectionFromEnv();
 
   // 1. Describe the dataset and experiment scale.
   const eval::TrackWorkload workload =

@@ -11,6 +11,7 @@
 #include "query/queries.h"
 #include "util/table.h"
 #include "util/strings.h"
+#include "obs/introspection_server.h"
 #include "util/trace_timeline.h"
 
 int main() {
@@ -18,6 +19,7 @@ int main() {
 
   // OTIF_LOG_LEVEL / OTIF_TRACE_TIMELINE / OTIF_DUMP_ON_ERROR.
   InitObservabilityFromEnv();
+  otif::obs::InitIntrospectionFromEnv();
 
   const eval::TrackWorkload workload =
       eval::MakeTrackWorkload(sim::DatasetId::kTokyo);

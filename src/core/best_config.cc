@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/executor/streaming_executor.h"
+#include "obs/run_progress.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/trace_timeline.h"
@@ -16,6 +17,18 @@ EvalResult EvaluateConfig(const PipelineConfig& config,
                           const std::vector<sim::Clip>& clips,
                           const AccuracyFn& accuracy_fn) {
   Pipeline pipeline(config, trained);
+  // Register the sweep with the live-progress registry (no-op when
+  // introspection is off): one run generation per EvaluateConfig call,
+  // totals in sampled frames per clip (what Pipeline::Run commits).
+  if (obs::ProgressEnabled()) {
+    std::vector<int64_t> totals;
+    totals.reserve(clips.size());
+    for (const sim::Clip& clip : clips) {
+      totals.push_back((clip.num_frames() + config.sampling_gap - 1) /
+                       config.sampling_gap);
+    }
+    obs::RunProgress::Global().BeginRun("serial", std::move(totals));
+  }
   // Clips are independent; run them across the worker pool. Results come
   // back ordered by clip index, and the simulated clock keeps independent
   // per-category accumulators, so merging in clip order reproduces the
@@ -28,6 +41,7 @@ EvalResult EvaluateConfig(const PipelineConfig& config,
                     telemetry::timeline::ScopedContext ctx({.clip = i});
                     return pipeline.Run(clips[static_cast<size_t>(i)]);
                   });
+  if (obs::ProgressEnabled()) obs::RunProgress::Global().EndRun();
   EvalResult result;
   for (PipelineResult& r : per_clip) {
     result.clock.Merge(r.clock);

@@ -17,6 +17,7 @@
 #include "core/executor/cross_clip_batcher.h"
 #include "core/stages.h"
 #include "models/proxy.h"
+#include "obs/run_progress.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -234,6 +235,11 @@ void CommitGroup(ClipWork* w, Group* g) {
   {
     telemetry::ScopedSpan span(internal::StageSpan(4));
     w->refine.ProcessBatch(batch, result);
+  }
+  // Live progress: one relaxed flag load when introspection is off.
+  if (obs::ProgressEnabled()) {
+    obs::RunProgress::Global().OnFramesCommitted(
+        g->clip_index, static_cast<int64_t>(batch.size()));
   }
 }
 
@@ -485,6 +491,19 @@ StatusOr<std::vector<PipelineResult>> StreamingExecutor::Run(
                                     config_.detector_arch),
                  opts);
 
+  // Register the run with the live-progress registry (no-op when
+  // introspection is off). Totals are the sampled frames each clip will
+  // commit — the same quantity CommitGroup reports.
+  if (obs::ProgressEnabled()) {
+    std::vector<int64_t> totals;
+    totals.reserve(clips.size());
+    for (const sim::Clip& clip : clips) {
+      totals.push_back((clip.num_frames() + config_.sampling_gap - 1) /
+                       config_.sampling_gap);
+    }
+    obs::RunProgress::Global().BeginRun("streaming", std::move(totals));
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (cancelled_) {
@@ -565,6 +584,8 @@ StatusOr<std::vector<PipelineResult>> StreamingExecutor::Run(
     threads.emplace_back([&] { CommitWorkerLoop(&state); });
   }
   for (std::thread& t : threads) t.join();
+
+  if (obs::ProgressEnabled()) obs::RunProgress::Global().EndRun();
 
   {
     std::lock_guard<std::mutex> lock(mu_);

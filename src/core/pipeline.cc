@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "core/stages.h"
+#include "obs/run_progress.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/trace.h"
+#include "util/trace_timeline.h"
 
 namespace otif::core {
 namespace {
@@ -188,6 +190,15 @@ PipelineResult Pipeline::Run(const sim::Clip& clip) const {
     for (int s = 0; s < kNumStages; ++s) {
       telemetry::ScopedSpan span(stage_telemetry[static_cast<size_t>(s)].span);
       stages[s]->ProcessBatch(batch, &result);
+    }
+    // Live progress: with introspection off this is the one relaxed flag
+    // load; with it on, the batch is attributed to the clip the scheduler
+    // tagged on this thread (-1 outside per-clip work still advances the
+    // run total and the stall watchdog).
+    if (obs::ProgressEnabled()) {
+      obs::RunProgress::Global().OnFramesCommitted(
+          static_cast<int>(telemetry::timeline::CurrentContext().clip),
+          static_cast<int64_t>(batch.size()));
     }
   }
   for (int s = 0; s < kNumStages; ++s) {

@@ -7,6 +7,8 @@
 #include "baselines/chameleon.h"
 #include "baselines/miris.h"
 #include "baselines/noscope.h"
+#include "obs/introspection_server.h"
+#include "obs/run_progress.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -25,6 +27,7 @@ namespace {
 StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
     sim::DatasetId id, const ExperimentOptions& options) {
   InitObservabilityFromEnv();
+  obs::InitIntrospectionFromEnv();
   OTIF_SPAN("harness/experiment");
   TrackExperimentResult result;
   const TrackWorkload workload = MakeTrackWorkload(id);
@@ -45,6 +48,7 @@ StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
   OTIF_LOG(kInfo) << "[" << result.dataset << "] preparing OTIF";
   {
     telemetry::ScopedSpan span(telemetry::GetSpan("harness/prepare"));
+    obs::RunProgress::Global().SetPhase("prepare");
     result.otif->Prepare(valid_accuracy, tuner_options);
   }
   OTIF_LOG(kInfo) << "[" << result.dataset << "] executing curve with the "
@@ -52,6 +56,7 @@ StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
                   << " executor";
   {
     telemetry::ScopedSpan span(telemetry::GetSpan("harness/execute_curve"));
+    obs::RunProgress::Global().SetPhase("execute_curve");
     std::vector<baselines::MethodPoint> points;
     for (const core::TunerPoint& tp : result.otif->curve()) {
       core::EvalResult r =
@@ -98,6 +103,7 @@ StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
                     << baseline->name();
     to_run.push_back(std::move(baseline));
   }
+  obs::RunProgress::Global().SetPhase("baselines");
   std::vector<std::vector<baselines::MethodPoint>> curves = ParallelMap(
       ThreadPool::Default(), static_cast<int64_t>(to_run.size()),
       [&](int64_t i) {
@@ -111,6 +117,7 @@ StatusOr<TrackExperimentResult> RunTrackExperimentImpl(
     result.curves[to_run[i]->name()] = std::move(curves[i]);
   }
 
+  obs::RunProgress::Global().SetPhase("idle");
   for (const auto& [name, points] : result.curves) {
     for (const baselines::MethodPoint& p : points) {
       result.best_accuracy = std::max(result.best_accuracy, p.accuracy);

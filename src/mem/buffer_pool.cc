@@ -1,7 +1,6 @@
 #include "mem/buffer_pool.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -9,6 +8,13 @@
 
 namespace otif::mem {
 namespace {
+
+/// Whether OTIF_POOL_DEBUG per-miss logging is requested (checked once per
+/// process; the miss path should not pay a getenv per allocation).
+bool PoolDebugFromEnv() {
+  static const bool enabled = std::getenv("OTIF_POOL_DEBUG") != nullptr;
+  return enabled;
+}
 
 /// Smallest size class whose capacity covers `n` floats.
 uint32_t ClassForSize(size_t n, uint32_t min_log2, uint32_t num_classes) {
@@ -62,10 +68,12 @@ PooledBuffer BufferPool::Acquire(size_t n_floats) {
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
     // Set OTIF_POOL_DEBUG=1 to log each miss: at steady state misses should
-    // not happen, and each log line is an allocation site to chase.
-    if (std::getenv("OTIF_POOL_DEBUG") != nullptr) {
-      std::fprintf(stderr, "[buffer_pool miss] n_floats=%zu class=%u\n",
-                   n_floats, cls);
+    // not happen, and each log line is an allocation site to chase. Emitted
+    // at kDebug severity so a long run at the default threshold (kInfo) is
+    // not flooded — pair with OTIF_LOG_LEVEL=debug to see the lines.
+    if (PoolDebugFromEnv()) {
+      OTIF_LOG(kDebug) << "[buffer_pool miss] n_floats=" << n_floats
+                       << " class=" << cls;
     }
     const size_t capacity =
         cls != kUnpooledClass ? (size_t{1} << (kMinClassLog2 + cls))

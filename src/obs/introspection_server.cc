@@ -1,0 +1,430 @@
+#include "obs/introspection_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mem/buffer_pool.h"
+#include "obs/prometheus.h"
+#include "obs/run_progress.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/trace.h"
+#include "util/trace_timeline.h"
+
+namespace otif::obs {
+namespace {
+
+/// One completed span paired up from the timeline rings.
+struct CompletedSpan {
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  uint64_t tid = 0;
+  int64_t clip = -1;
+};
+
+/// Pairs begin/end events (per thread, LIFO nesting — the Chrome trace
+/// model the rings follow) into completed spans, newest-ending first,
+/// capped at `limit`. Unmatched begins (still running or end overwritten)
+/// are dropped.
+std::vector<CompletedSpan> PairCompletedSpans(
+    const std::vector<telemetry::timeline::Event>& events, int limit) {
+  std::map<uint64_t, std::vector<const telemetry::timeline::Event*>> stacks;
+  std::vector<CompletedSpan> done;
+  for (const telemetry::timeline::Event& e : events) {
+    std::vector<const telemetry::timeline::Event*>& stack = stacks[e.tid];
+    if (e.phase == 'B') {
+      stack.push_back(&e);
+      continue;
+    }
+    // End event: unwind to the matching begin (a ring that overwrote some
+    // begins can leave strays below; mismatches discard the stray begin).
+    while (!stack.empty() && stack.back()->name != e.name) stack.pop_back();
+    if (stack.empty()) continue;
+    const telemetry::timeline::Event* begin = stack.back();
+    stack.pop_back();
+    CompletedSpan span;
+    span.name = e.name;
+    span.start_ns = begin->ts_ns;
+    span.dur_ns = e.ts_ns - begin->ts_ns;
+    span.tid = e.tid;
+    span.clip = begin->clip;
+    done.push_back(std::move(span));
+  }
+  // Events arrive sorted by timestamp, so `done` is ordered by end time;
+  // newest first, capped.
+  std::vector<CompletedSpan> out;
+  const size_t keep =
+      limit > 0 ? std::min(done.size(), static_cast<size_t>(limit))
+                : done.size();
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.push_back(std::move(done[done.size() - 1 - i]));
+  }
+  return out;
+}
+
+std::string RenderStatusz() {
+  // Snapshot everything first (each snapshot takes only the brief locks
+  // its registry already uses), then serialize lock-free.
+  const ProgressSnapshot progress = RunProgress::Global().Snapshot();
+  const telemetry::TelemetrySnapshot telemetry = telemetry::CaptureSnapshot();
+  const mem::BufferPool::Stats pool = mem::BufferPool::Global().GetStats();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("phase").Value(progress.phase);
+  w.Key("process_uptime_seconds").Value(progress.process_uptime_seconds);
+  w.Key("run").BeginObject();
+  w.Key("label").Value(progress.run_label);
+  w.Key("seq").Value(progress.run_seq);
+  w.Key("in_flight").Value(progress.run_in_flight);
+  w.Key("uptime_seconds").Value(progress.run_uptime_seconds);
+  w.Key("seconds_since_last_commit").Value(progress.seconds_since_last_commit);
+  w.Key("frames_committed").Value(progress.frames_committed);
+  w.Key("frames_total").Value(progress.frames_total);
+  w.Key("clips_done").Value(progress.clips_done);
+  w.Key("clips").BeginArray();
+  for (const ClipProgressSample& clip : progress.clips) {
+    w.BeginObject();
+    w.Key("clip").Value(clip.clip);
+    w.Key("committed").Value(clip.committed);
+    w.Key("total").Value(clip.total);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  // Executor pressure: channel depth gauges and batcher fill histograms are
+  // registered by the streaming executor under fixed name patterns; strip
+  // the pattern so /statusz keys read as plain stage names.
+  w.Key("executor").BeginObject();
+  w.Key("channels").BeginObject();
+  constexpr std::string_view kChannelPrefix = "executor.channel.";
+  constexpr std::string_view kDepthSuffix = ".depth";
+  for (const telemetry::GaugeSample& g : telemetry.gauges) {
+    if (!StartsWith(g.name, kChannelPrefix)) continue;
+    if (g.name.size() <= kChannelPrefix.size() + kDepthSuffix.size() ||
+        g.name.compare(g.name.size() - kDepthSuffix.size(),
+                       kDepthSuffix.size(), kDepthSuffix) != 0) {
+      continue;
+    }
+    const std::string channel = g.name.substr(
+        kChannelPrefix.size(),
+        g.name.size() - kChannelPrefix.size() - kDepthSuffix.size());
+    w.Key(channel).Value(g.value);
+  }
+  w.EndObject();
+  w.Key("batchers").BeginObject();
+  constexpr std::string_view kBatchPrefix = "executor.batch.";
+  constexpr std::string_view kFillSuffix = ".fill";
+  for (const telemetry::HistogramSample& h : telemetry.histograms) {
+    if (!StartsWith(h.name, kBatchPrefix)) continue;
+    if (h.name.size() <= kBatchPrefix.size() + kFillSuffix.size() ||
+        h.name.compare(h.name.size() - kFillSuffix.size(), kFillSuffix.size(),
+                       kFillSuffix) != 0) {
+      continue;
+    }
+    const std::string batcher = h.name.substr(
+        kBatchPrefix.size(),
+        h.name.size() - kBatchPrefix.size() - kFillSuffix.size());
+    w.Key(batcher).BeginObject();
+    w.Key("waves").Value(h.count);
+    w.Key("mean_fill").Value(h.count > 0 ? h.sum / h.count : 0.0);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("pool").BeginObject();
+  w.Key("hits").Value(pool.hits);
+  w.Key("misses").Value(pool.misses);
+  w.Key("hit_rate").Value(pool.hit_rate());
+  w.Key("bytes_in_flight").Value(pool.bytes_in_flight);
+  w.Key("bytes_retained").Value(pool.bytes_retained);
+  w.Key("arena_bytes_reserved").Value(pool.arena_bytes_reserved);
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+std::string RenderTracez(int limit) {
+  const bool armed = telemetry::timeline::CollectionEnabled();
+  std::vector<CompletedSpan> spans;
+  if (armed) {
+    spans = PairCompletedSpans(telemetry::timeline::SnapshotEvents(), limit);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("timeline_armed").Value(armed);
+  w.Key("span_count").Value(static_cast<int64_t>(spans.size()));
+  w.Key("spans").BeginArray();
+  for (const CompletedSpan& s : spans) {
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("start_ns").Value(s.start_ns);
+    w.Key("dur_ns").Value(s.dur_ns);
+    w.Key("tid").Value(static_cast<uint64_t>(s.tid));
+    w.Key("clip").Value(s.clip);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+const char kIndexBody[] =
+    "otif introspection endpoints:\n"
+    "  /metrics  Prometheus text exposition of the telemetry registry\n"
+    "  /healthz  liveness + commit-stall watchdog\n"
+    "  /statusz  JSON run status (per-clip progress, queues, pool)\n"
+    "  /tracez   last completed spans from the timeline rings\n";
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(const Options& options)
+    : options_(options) {}
+
+StatusOr<std::unique_ptr<IntrospectionServer>> IntrospectionServer::Start(
+    const Options& options) {
+  std::unique_ptr<IntrospectionServer> server(
+      new IntrospectionServer(options));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IoError(
+        StrFormat("bind(127.0.0.1:%d): %s", options.port,
+                  std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status = Status::IoError(
+        StrFormat("getsockname(): %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+IntrospectionServer::~IntrospectionServer() {
+  // shutdown() wakes the blocked accept(); the loop then sees the error and
+  // exits. Close only after the join so the fd cannot be reused while the
+  // accept thread still references it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void IntrospectionServer::AcceptLoop() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // shutdown() from the destructor (or a fatal socket error).
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void IntrospectionServer::ServeConnection(int fd) const {
+  // Read until the end of the request head (we never use a body). Cap the
+  // head so a misbehaving client cannot make the server buffer unboundedly.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::vector<std::string> parts = StrSplit(
+      line_end == std::string::npos ? head : head.substr(0, line_end), ' ');
+  Response response;
+  if (parts.size() < 2) {
+    response = {400, "text/plain", "bad request\n"};
+  } else if (parts[0] != "GET" && parts[0] != "HEAD") {
+    response = {405, "text/plain", "only GET is supported\n"};
+  } else {
+    response = Handle(parts[1]);  // Handle strips any query string.
+  }
+  const char* reason = response.status == 200   ? "OK"
+                       : response.status == 400 ? "Bad Request"
+                       : response.status == 404 ? "Not Found"
+                       : response.status == 405 ? "Method Not Allowed"
+                       : response.status == 503 ? "Service Unavailable"
+                                                : "Error";
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, reason, response.content_type.c_str(),
+      response.body.size());
+  if (parts.empty() || parts[0] != "HEAD") out += response.body;
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+}
+
+IntrospectionServer::Response IntrospectionServer::Handle(
+    const std::string& raw_path) const {
+  std::string path = raw_path;
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (path == "/metrics") {
+    // Refresh the mem.* mirror gauges so a scrape sees current pool state
+    // (they are otherwise only published at report time).
+    mem::BufferPool::Global().PublishTelemetry();
+    return {200, "text/plain; version=0.0.4",
+            ToPrometheusText(telemetry::CaptureSnapshot())};
+  }
+  if (path == "/statusz") {
+    return {200, "application/json", RenderStatusz()};
+  }
+  if (path == "/healthz") {
+    const double idle = RunProgress::Global().SecondsSinceRunAdvanced();
+    const bool stalled = idle >= 0.0 && idle > options_.stall_seconds;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("status").Value(stalled  ? "stalled"
+                          : idle < 0 ? "idle"
+                                     : "ok");
+    w.Key("seconds_since_advance").Value(idle);
+    w.Key("stall_window_seconds").Value(options_.stall_seconds);
+    w.EndObject();
+    return {stalled ? 503 : 200, "application/json",
+            std::move(w).TakeString()};
+  }
+  if (path == "/tracez") {
+    return {200, "application/json", RenderTracez(options_.tracez_limit)};
+  }
+  if (path == "/" || path.empty()) {
+    return {200, "text/plain", kIndexBody};
+  }
+  return {404, "text/plain", std::string("not found\n\n") + kIndexBody};
+}
+
+ProgressLogger::ProgressLogger(double interval_seconds)
+    : interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0),
+      thread_([this] { Loop(); }) {}
+
+ProgressLogger::~ProgressLogger() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ProgressLogger::Loop() {
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    lock.unlock();
+    const ProgressSnapshot p = RunProgress::Global().Snapshot();
+    if (p.run_in_flight) {
+      const double pct =
+          p.frames_total > 0
+              ? 100.0 * static_cast<double>(p.frames_committed) /
+                    static_cast<double>(p.frames_total)
+              : 0.0;
+      OTIF_LOG(kInfo) << "[progress] phase=" << p.phase << " run=\""
+                      << p.run_label << "\" frames=" << p.frames_committed
+                      << "/" << p.frames_total << " ("
+                      << StrFormat("%.1f%%", pct) << ") clips_done="
+                      << p.clips_done << "/" << p.clips.size()
+                      << " uptime=" << StrFormat("%.1fs",
+                                                 p.run_uptime_seconds);
+    }
+    lock.lock();
+  }
+}
+
+IntrospectionServer* InitIntrospectionFromEnv() {
+  static IntrospectionServer* server = []() -> IntrospectionServer* {
+    const char* port_env = std::getenv("OTIF_METRICS_PORT");
+    const char* progress_env = std::getenv("OTIF_PROGRESS_SEC");
+    if (progress_env != nullptr) {
+      const double interval = std::atof(progress_env);
+      if (interval > 0.0) {
+        SetProgressEnabled(true);
+        // Leaked: logs until process exit, like the server below.
+        new ProgressLogger(interval);
+      }
+    }
+    if (port_env == nullptr || *port_env == '\0') return nullptr;
+    IntrospectionServer::Options options;
+    options.port = std::atoi(port_env);
+    if (const char* stall = std::getenv("OTIF_STALL_SEC")) {
+      const double window = std::atof(stall);
+      if (window > 0.0) options.stall_seconds = window;
+    }
+    SetProgressEnabled(true);
+    // Arm the timeline rings so /tracez has spans to show. Harmless to
+    // outputs (the timeline never affects results) and only reached when
+    // the operator asked for live introspection.
+    telemetry::timeline::SetCollectionEnabled(true);
+    StatusOr<std::unique_ptr<IntrospectionServer>> started =
+        IntrospectionServer::Start(options);
+    if (!started.ok()) {
+      OTIF_LOG(kError) << "introspection server disabled: "
+                       << started.status().ToString();
+      return nullptr;
+    }
+    IntrospectionServer* raw = started.value().release();  // Leaked.
+    OTIF_LOG(kInfo) << "introspection server listening on 127.0.0.1:"
+                    << raw->port();
+    if (const char* port_file = std::getenv("OTIF_METRICS_PORT_FILE")) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << raw->port() << "\n";
+      if (!out.good()) {
+        OTIF_LOG(kWarning) << "failed to write OTIF_METRICS_PORT_FILE="
+                           << port_file;
+      }
+    }
+    return raw;
+  }();
+  return server;
+}
+
+}  // namespace otif::obs

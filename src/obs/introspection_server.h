@@ -1,0 +1,129 @@
+#ifndef OTIF_OBS_INTROSPECTION_SERVER_H_
+#define OTIF_OBS_INTROSPECTION_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace otif::obs {
+
+/// Live introspection over in-flight runs: a dependency-free embedded
+/// HTTP/1.1 server (POSIX sockets, blocking accept loop on its own thread,
+/// loopback only) serving four read-only endpoints:
+///
+///   /metrics  Prometheus text exposition of the whole telemetry registry
+///             (counters, gauges, histograms with cumulative buckets and
+///             _sum/_count, spans as summaries; see prometheus.h).
+///   /healthz  Liveness + stall watchdog: 200 while the current run has
+///             committed frames within `stall_seconds` (or no run is in
+///             flight), 503 once it has not. JSON body with the verdict.
+///   /statusz  JSON run status (shared json_writer): phase, per-clip
+///             frames committed/total, executor channel depths and batcher
+///             fill, buffer-pool bytes, uptimes.
+///   /tracez   Last-N completed spans paired up from the seqlock timeline
+///             rings (requires timeline collection to be armed; reports
+///             timeline_armed so scrapers can tell "off" from "idle").
+///
+/// Every endpoint snapshots shared state first and serializes outside any
+/// lock, so a scrape never blocks worker threads beyond the snapshot
+/// mutexes the registries already use. Nothing here writes to pipeline
+/// state: runs produce bit-identical outputs with the server on or off.
+class IntrospectionServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+    /// back via port()).
+    int port = 0;
+    /// /healthz reports stalled when the in-flight run has not committed
+    /// for this long.
+    double stall_seconds = 30.0;
+    /// Completed spans /tracez keeps (newest first).
+    int tracez_limit = 200;
+  };
+
+  /// Binds, listens, and starts the accept thread. Fails (IoError) when
+  /// the port is taken or sockets are unavailable.
+  static StatusOr<std::unique_ptr<IntrospectionServer>> Start(
+      const Options& options);
+
+  ~IntrospectionServer();  // Stops the accept loop and joins the thread.
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// The bound port (the ephemeral pick when Options::port was 0).
+  int port() const { return port_; }
+
+  /// One rendered HTTP response body. Exposed so tests can exercise every
+  /// endpoint without sockets.
+  struct Response {
+    int status = 200;                        ///< HTTP status code.
+    std::string content_type = "text/plain"; ///< Content-Type header value.
+    std::string body;
+  };
+
+  /// Renders the endpoint at `path` (query string ignored); unknown paths
+  /// get a 404 index. Thread-safe, read-only.
+  Response Handle(const std::string& path) const;
+
+ private:
+  explicit IntrospectionServer(const Options& options);
+
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+
+  const Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+/// Periodic headless progress logger for non-HTTP runs: every
+/// `interval_seconds` logs one OTIF_LOG(kInfo) line summarizing the
+/// in-flight run (phase, frames committed/total, clips done). Quiet while
+/// no run is in flight. Stops (and joins) on destruction.
+class ProgressLogger {
+ public:
+  explicit ProgressLogger(double interval_seconds);
+  ~ProgressLogger();
+
+  ProgressLogger(const ProgressLogger&) = delete;
+  ProgressLogger& operator=(const ProgressLogger&) = delete;
+
+ private:
+  void Loop();
+
+  const double interval_seconds_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // mu_.
+  std::thread thread_;
+};
+
+/// Applies the introspection environment configuration once per process
+/// (idempotent; later calls return the first outcome):
+///
+///  - OTIF_METRICS_PORT: when set, arms run-progress recording and timeline
+///    collection, starts a process-lifetime IntrospectionServer on that
+///    port (0 = ephemeral), and logs the bound address. Unset leaves the
+///    whole subsystem off (cost: nothing beyond the flag word).
+///  - OTIF_METRICS_PORT_FILE: when set alongside OTIF_METRICS_PORT, the
+///    bound port is also written (as one decimal line) to this file so
+///    scripts can find an ephemeral port.
+///  - OTIF_STALL_SEC: /healthz watchdog window in seconds (default 30).
+///  - OTIF_PROGRESS_SEC: when > 0, arms run-progress recording and starts a
+///    process-lifetime ProgressLogger at that interval — works with or
+///    without the HTTP server.
+///
+/// Returns the running server (nullptr when OTIF_METRICS_PORT is unset or
+/// the bind failed — the failure is logged, never fatal: introspection must
+/// not take down a run).
+IntrospectionServer* InitIntrospectionFromEnv();
+
+}  // namespace otif::obs
+
+#endif  // OTIF_OBS_INTROSPECTION_SERVER_H_

@@ -1,0 +1,60 @@
+#include "obs/prometheus.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace otif::obs {
+namespace {
+
+/// Sample-value / bucket-bound formatting: shortest round-trip decimal
+/// ("%.17g" is exact for doubles; Prometheus parsers take scientific
+/// notation, so 1e-06 bounds stay compact).
+std::string FormatDouble(double value) {
+  std::string out = StrFormat("%.17g", value);
+  // Prefer the short form when it round-trips (17 digits is only needed
+  // for values that a shorter form would distort).
+  for (int precision = 1; precision < 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    if (std::stod(candidate) == value) return candidate;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const telemetry::TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const telemetry::CounterSample& s : snapshot.counters) {
+    const std::string name = telemetry::PrometheusMetricName(s.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << s.value << "\n";
+  }
+  for (const telemetry::GaugeSample& s : snapshot.gauges) {
+    const std::string name = telemetry::PrometheusMetricName(s.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << FormatDouble(s.value) << "\n";
+  }
+  for (const telemetry::HistogramSample& s : snapshot.histograms) {
+    const std::string name = telemetry::PrometheusMetricName(s.name);
+    out << "# TYPE " << name << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < s.bounds.size(); ++i) {
+      cumulative += i < s.buckets.size() ? s.buckets[i] : 0;
+      out << name << "_bucket{le=\"" << FormatDouble(s.bounds[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    out << name << "_sum " << FormatDouble(s.sum) << "\n";
+    out << name << "_count " << s.count << "\n";
+  }
+  for (const telemetry::SpanSample& s : snapshot.spans) {
+    const std::string name = telemetry::PrometheusMetricName(s.name);
+    out << "# TYPE " << name << " summary\n";
+    out << name << "_sum " << FormatDouble(s.total_seconds) << "\n";
+    out << name << "_count " << s.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace otif::obs

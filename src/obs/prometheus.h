@@ -1,0 +1,29 @@
+#ifndef OTIF_OBS_PROMETHEUS_H_
+#define OTIF_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "util/telemetry.h"
+
+namespace otif::obs {
+
+/// Renders a telemetry snapshot in the Prometheus text exposition format
+/// (version 0.0.4, the format every scraper accepts):
+///
+///   - counters     -> `# TYPE <name> counter` + one sample line
+///   - gauges       -> `# TYPE <name> gauge` + one sample line
+///   - histograms   -> `# TYPE <name> histogram` + cumulative
+///                     `<name>_bucket{le="<bound>"}` lines ending in
+///                     `le="+Inf"`, plus `<name>_sum` / `<name>_count`
+///   - spans        -> `# TYPE <name> summary` + `<name>_sum` (total
+///                     seconds) / `<name>_count` (invocations)
+///
+/// Names are the sanitized exposition names the registry claimed at
+/// registration (telemetry::PrometheusMetricName), so this never emits an
+/// illegal or colliding series. Pure function of the snapshot: no locks,
+/// no registry access.
+std::string ToPrometheusText(const telemetry::TelemetrySnapshot& snapshot);
+
+}  // namespace otif::obs
+
+#endif  // OTIF_OBS_PROMETHEUS_H_

@@ -1,0 +1,137 @@
+#include "obs/run_progress.h"
+
+#include <chrono>
+#include <utility>
+
+namespace otif::obs {
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process start anchor for the /statusz uptime field. Captured at first
+/// use, which in practice is the first BeginRun or Snapshot — close enough
+/// to process start for an uptime display.
+int64_t ProcessStartNs() {
+  static const int64_t start = MonotonicNowNs();
+  return start;
+}
+
+}  // namespace
+
+void SetProgressEnabled(bool enabled) {
+  telemetry::internal::SetFlag(telemetry::kProgressFlag, enabled);
+}
+
+RunProgress& RunProgress::Global() {
+  // Leaked: commit paths may still report during static destruction.
+  static RunProgress* progress = new RunProgress();
+  return *progress;
+}
+
+void RunProgress::BeginRun(std::string label,
+                           std::vector<int64_t> clip_total_frames) {
+  if (!ProgressEnabled()) return;
+  auto state = std::make_shared<RunState>();
+  state->label = std::move(label);
+  state->start_ns = MonotonicNowNs();
+  state->clips.reserve(clip_total_frames.size());
+  for (const int64_t total : clip_total_frames) {
+    auto clip = std::make_unique<ClipState>();
+    clip->total = total;
+    state->frames_total += total;
+    state->clips.push_back(std::move(clip));
+  }
+  ProcessStartNs();  // Anchor uptime no later than the first run.
+  std::lock_guard<std::mutex> lock(mu_);
+  state->seq = next_seq_++;
+  state_ = std::move(state);
+  // A harness-set phase ("prepare", "baselines", ...) outlives the runs it
+  // contains; only the default idle phase flips to "running".
+  if (phase_ == "idle") phase_ = "running";
+}
+
+void RunProgress::EndRun() {
+  if (!ProgressEnabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != nullptr) {
+    state_->in_flight.store(false, std::memory_order_relaxed);
+  }
+  if (phase_ == "running") phase_ = "idle";
+}
+
+void RunProgress::SetPhase(std::string phase) {
+  if (!ProgressEnabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = std::move(phase);
+}
+
+void RunProgress::OnFramesCommitted(int clip, int64_t frames) {
+  if (!ProgressEnabled()) return;
+  const std::shared_ptr<RunState> state = CurrentState();
+  if (state == nullptr) return;
+  state->frames_committed.fetch_add(frames, std::memory_order_relaxed);
+  state->last_commit_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+  if (clip >= 0 && static_cast<size_t>(clip) < state->clips.size()) {
+    state->clips[clip]->committed.fetch_add(frames,
+                                            std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<RunProgress::RunState> RunProgress::CurrentState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+ProgressSnapshot RunProgress::Snapshot() const {
+  ProgressSnapshot out;
+  const int64_t now_ns = MonotonicNowNs();
+  out.process_uptime_seconds =
+      static_cast<double>(now_ns - ProcessStartNs()) * 1e-9;
+  std::shared_ptr<RunState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = state_;
+    out.phase = phase_;
+  }
+  if (state == nullptr) return out;
+  out.run_label = state->label;
+  out.run_seq = state->seq;
+  out.run_in_flight = state->in_flight.load(std::memory_order_relaxed);
+  out.run_uptime_seconds =
+      static_cast<double>(now_ns - state->start_ns) * 1e-9;
+  out.frames_committed =
+      state->frames_committed.load(std::memory_order_relaxed);
+  out.frames_total = state->frames_total;
+  const int64_t last_ns =
+      state->last_commit_ns.load(std::memory_order_relaxed);
+  out.seconds_since_last_commit =
+      last_ns >= 0 ? static_cast<double>(now_ns - last_ns) * 1e-9 : -1.0;
+  out.clips.reserve(state->clips.size());
+  for (size_t i = 0; i < state->clips.size(); ++i) {
+    ClipProgressSample clip;
+    clip.clip = static_cast<int>(i);
+    clip.committed = state->clips[i]->committed.load(std::memory_order_relaxed);
+    clip.total = state->clips[i]->total;
+    if (clip.total > 0 && clip.committed >= clip.total) ++out.clips_done;
+    out.clips.push_back(clip);
+  }
+  return out;
+}
+
+double RunProgress::SecondsSinceRunAdvanced() const {
+  const std::shared_ptr<RunState> state = CurrentState();
+  if (state == nullptr ||
+      !state->in_flight.load(std::memory_order_relaxed)) {
+    return -1.0;
+  }
+  const int64_t last_ns =
+      state->last_commit_ns.load(std::memory_order_relaxed);
+  const int64_t anchor_ns = last_ns >= 0 ? last_ns : state->start_ns;
+  return static_cast<double>(MonotonicNowNs() - anchor_ns) * 1e-9;
+}
+
+}  // namespace otif::obs

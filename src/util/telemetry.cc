@@ -88,6 +88,17 @@ std::vector<double> DefaultLatencyBounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
 }
 
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "otif_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
 double HistogramQuantile(const HistogramSample& sample, double q) {
   if (sample.count <= 0) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
@@ -142,17 +153,45 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+void MetricsRegistry::ClaimName(const char* kind, const std::string& name) {
+  const std::string sanitized = PrometheusMetricName(name);
+  const auto [it, inserted] =
+      claimed_names_.emplace(sanitized, NameClaim{kind, name});
+  if (!inserted) {
+    // Same original name, same kind: the registration dedupe path never
+    // reaches here, so this is a cross-kind reuse of one name — as much a
+    // collision as two names sanitizing together.
+    OTIF_LOG(kFatal)
+        << "telemetry metric name collision: " << kind << " \"" << name
+        << "\" and " << it->second.kind << " \"" << it->second.original
+        << "\" both export as Prometheus metric \"" << sanitized
+        << "\"; rename one at its registration site";
+  }
+}
+
+void MetricsRegistry::RegisterExternalName(const char* kind,
+                                           const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClaimName(kind, name);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
+  if (slot == nullptr) {
+    ClaimName("counter", name);
+    slot = std::make_unique<Counter>();
+  }
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
-  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  if (slot == nullptr) {
+    ClaimName("gauge", name);
+    slot = std::make_unique<Gauge>();
+  }
   return slot.get();
 }
 
@@ -160,7 +199,10 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (slot == nullptr) {
+    ClaimName("histogram", name);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
   return slot.get();
 }
 

@@ -16,6 +16,7 @@ namespace otif::telemetry {
 /// all of them (the "everything off" cost contract).
 inline constexpr uint32_t kTelemetryFlag = 1u << 0;  // Aggregate metrics.
 inline constexpr uint32_t kTimelineFlag = 1u << 1;   // Event ring buffers.
+inline constexpr uint32_t kProgressFlag = 1u << 2;   // Live run progress.
 
 /// Current flag word (one relaxed atomic load).
 uint32_t Flags();
@@ -134,6 +135,13 @@ struct TelemetrySnapshot {
   std::vector<SpanSample> spans;
 };
 
+/// The Prometheus exposition name a registered metric exports under:
+/// "otif_" + `name` with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' (so "stage/detect.sim_seconds" becomes
+/// "otif_stage_detect_sim_seconds"). Shared by registration-time collision
+/// checking and the /metrics exporter so the two can never disagree.
+std::string PrometheusMetricName(const std::string& name);
+
 /// Estimated q-quantile (q in [0, 1]) of a histogram sample: finds the
 /// bucket containing the quantile rank and interpolates linearly inside it
 /// (the first bucket interpolates from 0, matching the non-negative metrics
@@ -170,19 +178,42 @@ class MetricsRegistry {
   /// Returns the metric registered under `name`, creating it on first use.
   /// Repeated calls with the same name return the same pointer; a
   /// histogram's bounds are fixed by the first registration.
+  ///
+  /// Every first registration normalizes `name` through
+  /// PrometheusMetricName and records it in a per-registry table; two
+  /// *different* names (of any metric kind, spans included) that sanitize
+  /// to the same exposition name are a fatal error at the second
+  /// registration — a name collision would silently merge two series in
+  /// every /metrics scrape.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = DefaultLatencyBounds());
 
+  /// Enters a metric owned by another registry (the span registry in
+  /// trace.cc) into this registry's sanitized-name collision table. Spans
+  /// export to Prometheus under the same namespace as plain metrics, so
+  /// they must claim their exposition names here too.
+  void RegisterExternalName(const char* kind, const std::string& name);
+
   TelemetrySnapshot Snapshot() const;
   void Reset();
 
  private:
+  /// Claims `name`'s sanitized exposition name for `kind` (fatal on
+  /// collision with a previously claimed different name). Caller holds mu_.
+  void ClaimName(const char* kind, const std::string& name);
+
+  struct NameClaim {
+    std::string kind;
+    std::string original;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;      // mu_.
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;          // mu_.
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // mu_.
+  std::map<std::string, NameClaim> claimed_names_;                // mu_.
 };
 
 // --- Exporters ---------------------------------------------------------------

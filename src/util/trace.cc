@@ -23,7 +23,13 @@ class SpanRegistry {
   SpanSite* Get(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
     std::unique_ptr<SpanSite>& slot = sites_[name];
-    if (slot == nullptr) slot = std::make_unique<SpanSite>(name);
+    if (slot == nullptr) {
+      // Spans export to Prometheus in the same namespace as plain metrics
+      // (as summaries), so their names go through the same sanitization
+      // and collision check as counter/gauge/histogram registrations.
+      MetricsRegistry::Global().RegisterExternalName("span", name);
+      slot = std::make_unique<SpanSite>(name);
+    }
     return slot.get();
   }
 

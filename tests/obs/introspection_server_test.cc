@@ -1,0 +1,275 @@
+// Introspection server endpoint tests: handler rendering for all four
+// endpoints, the /healthz stall watchdog, one real-socket HTTP round trip,
+// concurrent /metrics scrapes racing telemetry writers (the TSan target),
+// and the bit-identity contract — a streaming run with the server up and
+// progress armed must match the server-off run exactly.
+
+#include "obs/introspection_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor/streaming_executor.h"
+#include "core/pipeline.h"
+#include "obs/run_progress.h"
+#include "sim/dataset.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace otif::obs {
+namespace {
+
+/// Arms progress recording for a test body and restores the previous state
+/// (and a clean "idle" phase) on exit.
+class ScopedProgress {
+ public:
+  ScopedProgress() : previous_(ProgressEnabled()) { SetProgressEnabled(true); }
+  ~ScopedProgress() {
+    RunProgress::Global().EndRun();
+    RunProgress::Global().SetPhase("idle");
+    SetProgressEnabled(previous_);
+  }
+
+ private:
+  const bool previous_;
+};
+
+std::unique_ptr<IntrospectionServer> StartOrDie(
+    IntrospectionServer::Options options = {}) {
+  StatusOr<std::unique_ptr<IntrospectionServer>> server =
+      IntrospectionServer::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(*server);
+}
+
+TEST(IntrospectionServerTest, EphemeralPortIsReported) {
+  auto server = StartOrDie();
+  EXPECT_GT(server->port(), 0);
+  EXPECT_LE(server->port(), 65535);
+}
+
+TEST(IntrospectionServerTest, MetricsEndpointServesExposition) {
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("obs_test.metrics_probe")
+      ->Add(1);
+  auto server = StartOrDie();
+  const IntrospectionServer::Response r = server->Handle("/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("0.0.4"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE "), std::string::npos);
+  EXPECT_NE(r.body.find("otif_obs_test_metrics_probe"), std::string::npos);
+  // The scrape refreshes the buffer-pool mirror gauges before rendering.
+  EXPECT_NE(r.body.find("otif_mem_pool_hits"), std::string::npos);
+}
+
+TEST(IntrospectionServerTest, StatuszReportsRunAndClips) {
+  ScopedProgress scoped;
+  RunProgress::Global().BeginRun("statusz_unit", {5, 5});
+  RunProgress::Global().OnFramesCommitted(0, 2);
+  auto server = StartOrDie();
+  const IntrospectionServer::Response r = server->Handle("/statusz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"phase\""), std::string::npos);
+  EXPECT_NE(r.body.find("statusz_unit"), std::string::npos);
+  EXPECT_NE(r.body.find("\"committed\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"pool\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"executor\""), std::string::npos);
+}
+
+TEST(IntrospectionServerTest, HealthzFlipsToStalledAndBack) {
+  ScopedProgress scoped;
+  IntrospectionServer::Options options;
+  options.stall_seconds = 0.02;
+  auto server = StartOrDie(options);
+
+  // No run in flight: idle is healthy.
+  IntrospectionServer::Response r = server->Handle("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("idle"), std::string::npos);
+
+  // A run that stops committing trips the watchdog after stall_seconds.
+  RunProgress::Global().BeginRun("healthz_unit", {100});
+  RunProgress::Global().OnFramesCommitted(0, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  r = server->Handle("/healthz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("stalled"), std::string::npos);
+
+  // A fresh commit revives it; ending the run returns it to idle.
+  RunProgress::Global().OnFramesCommitted(0, 1);
+  EXPECT_EQ(server->Handle("/healthz").status, 200);
+  RunProgress::Global().EndRun();
+  r = server->Handle("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("idle"), std::string::npos);
+}
+
+TEST(IntrospectionServerTest, TracezReportsArmedState) {
+  auto server = StartOrDie();
+  const IntrospectionServer::Response r = server->Handle("/tracez");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"timeline_armed\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"spans\""), std::string::npos);
+}
+
+TEST(IntrospectionServerTest, IndexAndNotFound) {
+  auto server = StartOrDie();
+  const IntrospectionServer::Response index = server->Handle("/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_EQ(server->Handle("/nope").status, 404);
+  // Query strings are ignored, not 404ed.
+  EXPECT_EQ(server->Handle("/healthz?verbose=1").status,
+            server->Handle("/healthz").status);
+}
+
+TEST(IntrospectionServerTest, RealSocketRoundTrip) {
+  auto server = StartOrDie();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Length: "), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n"), std::string::npos);
+}
+
+// The TSan satellite: scrapers hammer every endpoint while writer threads
+// mutate the telemetry registry and the progress counters. Correctness here
+// is "no data race, no crash, always a well-formed response".
+TEST(IntrospectionServerTest, ConcurrentScrapesRaceTelemetryUpdates) {
+  ScopedProgress scoped;
+  auto server = StartOrDie();
+  telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("obs_test.race_counter");
+  telemetry::Histogram* hist = telemetry::MetricsRegistry::Global()
+      .GetHistogram("obs_test.race_hist", {0.5, 1.0});
+  RunProgress::Global().BeginRun("race_unit", {1000, 1000});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Add(1);
+        hist->Record((i % 3) * 0.4);
+        RunProgress::Global().OnFramesCommitted(t, 1);
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      const char* paths[] = {"/metrics", "/statusz", "/healthz", "/tracez"};
+      for (int i = 0; i < 50; ++i) {
+        const IntrospectionServer::Response r =
+            server->Handle(paths[(t + i) % 4]);
+        EXPECT_TRUE(r.status == 200 || r.status == 503);
+        EXPECT_FALSE(r.body.empty());
+      }
+    });
+  }
+  for (std::thread& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+}
+
+/// Exact equality across the observables the executor tests also compare:
+/// the introspection server must not change a single bit of any run.
+void ExpectSameResult(const core::PipelineResult& a,
+                      const core::PipelineResult& b, size_t clip) {
+  EXPECT_EQ(a.frames_processed, b.frames_processed) << "clip " << clip;
+  EXPECT_EQ(a.detections_kept, b.detections_kept) << "clip " << clip;
+  ASSERT_EQ(a.tracks.size(), b.tracks.size()) << "clip " << clip;
+  for (size_t t = 0; t < a.tracks.size(); ++t) {
+    EXPECT_EQ(a.tracks[t].id, b.tracks[t].id);
+    ASSERT_EQ(a.tracks[t].detections.size(), b.tracks[t].detections.size());
+    for (size_t d = 0; d < a.tracks[t].detections.size(); ++d) {
+      const track::Detection& da = a.tracks[t].detections[d];
+      const track::Detection& db = b.tracks[t].detections[d];
+      EXPECT_EQ(da.frame, db.frame);
+      EXPECT_EQ(da.box.cx, db.box.cx);
+      EXPECT_EQ(da.box.cy, db.box.cy);
+      EXPECT_EQ(da.box.w, db.box.w);
+      EXPECT_EQ(da.box.h, db.box.h);
+      EXPECT_EQ(da.confidence, db.confidence);
+    }
+  }
+}
+
+TEST(IntrospectionServerTest, RunsAreBitIdenticalWithServerOnOrOff) {
+  std::vector<sim::Clip> clips;
+  const sim::DatasetSpec spec = sim::MakeDataset(sim::DatasetId::kSynthetic);
+  for (int c = 0; c < 2; ++c) {
+    clips.push_back(sim::SimulateClip(spec, sim::ClipSeed(spec, 1, c), 60));
+  }
+  core::PipelineConfig config;
+  config.tracker = core::TrackerKind::kSort;
+  config.frame_batch = 4;
+
+  // Reference: server down, progress off.
+  SetProgressEnabled(false);
+  ThreadPool::SetDefaultThreads(4);
+  core::StreamingExecutor off_executor(config, nullptr,
+                                       core::StreamingOptions{});
+  StatusOr<std::vector<core::PipelineResult>> off = off_executor.Run(clips);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  // Same run with the server scraping and progress armed throughout.
+  {
+    ScopedProgress scoped;
+    auto server = StartOrDie();
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        server->Handle("/metrics");
+        server->Handle("/statusz");
+        server->Handle("/healthz");
+      }
+    });
+    core::StreamingExecutor on_executor(config, nullptr,
+                                        core::StreamingOptions{});
+    StatusOr<std::vector<core::PipelineResult>> on = on_executor.Run(clips);
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    ASSERT_EQ(on->size(), off->size());
+    for (size_t c = 0; c < off->size(); ++c) {
+      ExpectSameResult((*off)[c], (*on)[c], c);
+    }
+  }
+  ThreadPool::SetDefaultThreads(1);
+}
+
+}  // namespace
+}  // namespace otif::obs

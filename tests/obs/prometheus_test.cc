@@ -1,0 +1,104 @@
+// Golden-file validation of the Prometheus text exposition renderer: a
+// hand-built snapshot must serialize to exactly the expected exposition
+// (sanitized names, cumulative histogram buckets, spans as summaries).
+
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/telemetry.h"
+
+namespace otif::obs {
+namespace {
+
+TEST(PrometheusTest, EmptySnapshotRendersNothing) {
+  telemetry::TelemetrySnapshot snapshot;
+  EXPECT_EQ(ToPrometheusText(snapshot), "");
+}
+
+TEST(PrometheusTest, GoldenExposition) {
+  telemetry::TelemetrySnapshot snapshot;
+  snapshot.counters.push_back({"pipeline.runs", 3});
+  snapshot.gauges.push_back({"executor.channel/decode.depth", 2.5});
+
+  telemetry::HistogramSample hist;
+  hist.name = "stage/detect.batch";
+  hist.bounds = {1.0, 4.0};
+  hist.buckets = {2, 3, 1};  // Last entry is the overflow bucket.
+  hist.count = 6;
+  hist.sum = 13.5;
+  snapshot.histograms.push_back(hist);
+
+  telemetry::SpanSample span;
+  span.name = "harness/prepare";
+  span.count = 2;
+  span.total_seconds = 0.25;
+  snapshot.spans.push_back(span);
+
+  const std::string expected =
+      "# TYPE otif_pipeline_runs counter\n"
+      "otif_pipeline_runs 3\n"
+      "# TYPE otif_executor_channel_decode_depth gauge\n"
+      "otif_executor_channel_decode_depth 2.5\n"
+      "# TYPE otif_stage_detect_batch histogram\n"
+      "otif_stage_detect_batch_bucket{le=\"1\"} 2\n"
+      "otif_stage_detect_batch_bucket{le=\"4\"} 5\n"  // Cumulative: 2 + 3.
+      "otif_stage_detect_batch_bucket{le=\"+Inf\"} 6\n"
+      "otif_stage_detect_batch_sum 13.5\n"
+      "otif_stage_detect_batch_count 6\n"
+      "# TYPE otif_harness_prepare summary\n"
+      "otif_harness_prepare_sum 0.25\n"
+      "otif_harness_prepare_count 2\n";
+  EXPECT_EQ(ToPrometheusText(snapshot), expected);
+}
+
+TEST(PrometheusTest, TinyBoundsUseScientificNotation) {
+  telemetry::HistogramSample hist;
+  hist.name = "lat";
+  hist.bounds = {1e-06};
+  hist.buckets = {1, 0};
+  hist.count = 1;
+  hist.sum = 5e-07;
+  telemetry::TelemetrySnapshot snapshot;
+  snapshot.histograms.push_back(hist);
+  const std::string text = ToPrometheusText(snapshot);
+  EXPECT_NE(text.find("otif_lat_bucket{le=\"1e-06\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("otif_lat_sum 5e-07"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, ValuesRoundTripThroughShortestForm) {
+  // One third has no short decimal form; the renderer must fall back to a
+  // representation that parses back to the identical double.
+  const double third = 1.0 / 3.0;
+  telemetry::TelemetrySnapshot snapshot;
+  snapshot.gauges.push_back({"ratio", third});
+  const std::string text = ToPrometheusText(snapshot);
+  const size_t space = text.rfind(' ');
+  ASSERT_NE(space, std::string::npos);
+  const std::string rendered = text.substr(space + 1, text.size() - space - 2);
+  EXPECT_EQ(std::stod(rendered), third) << "rendered as \"" << rendered <<'"';
+}
+
+TEST(PrometheusTest, RendersRealRegistrySnapshot) {
+  // End-to-end against a live registry: registration-time sanitization and
+  // the renderer agree on names, and every section type appears.
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("prom.test/events")->Add(7);
+  registry.GetGauge("prom.test/level")->Set(1.5);
+  registry.GetHistogram("prom.test/lat", {0.5, 1.0})->Record(0.75);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE otif_prom_test_events counter\n"
+                      "otif_prom_test_events 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("otif_prom_test_level 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("otif_prom_test_lat_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace otif::obs

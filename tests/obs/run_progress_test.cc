@@ -1,0 +1,160 @@
+// RunProgress registry semantics. RunProgress::Global() is a process-wide
+// singleton, so every test here starts its own run generation and restores
+// the enabled flag + phase on exit — tests stay order-independent by
+// asserting on the generation they created, never on absolute state.
+
+#include "obs/run_progress.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace otif::obs {
+namespace {
+
+/// Arms progress recording for a test body and restores the previous state
+/// (and a clean "idle" phase) on exit.
+class ScopedProgress {
+ public:
+  ScopedProgress() : previous_(ProgressEnabled()) { SetProgressEnabled(true); }
+  ~ScopedProgress() {
+    RunProgress::Global().EndRun();
+    RunProgress::Global().SetPhase("idle");
+    SetProgressEnabled(previous_);
+  }
+
+ private:
+  const bool previous_;
+};
+
+TEST(RunProgressTest, TracksPerClipCommits) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.BeginRun("unit", {10, 20});
+  progress.OnFramesCommitted(0, 4);
+  progress.OnFramesCommitted(1, 20);
+
+  ProgressSnapshot snap = progress.Snapshot();
+  EXPECT_EQ(snap.run_label, "unit");
+  EXPECT_TRUE(snap.run_in_flight);
+  EXPECT_EQ(snap.frames_total, 30);
+  EXPECT_EQ(snap.frames_committed, 24);
+  ASSERT_EQ(snap.clips.size(), 2u);
+  EXPECT_EQ(snap.clips[0].clip, 0);
+  EXPECT_EQ(snap.clips[0].committed, 4);
+  EXPECT_EQ(snap.clips[0].total, 10);
+  EXPECT_EQ(snap.clips[1].committed, 20);
+  EXPECT_EQ(snap.clips_done, 1);  // Clip 1 reached its total.
+  EXPECT_GE(snap.seconds_since_last_commit, 0.0);
+  EXPECT_GE(snap.run_uptime_seconds, 0.0);
+  // Separate clock reads microseconds apart: only sign is guaranteed when
+  // the run began right at process start (as in this test binary).
+  EXPECT_GE(snap.process_uptime_seconds, 0.0);
+
+  progress.EndRun();
+  EXPECT_FALSE(progress.Snapshot().run_in_flight);
+}
+
+TEST(RunProgressTest, UnattributedAndOutOfRangeClipsCountTowardRunTotal) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.BeginRun("unattributed", {5});
+  progress.OnFramesCommitted(-1, 3);  // Serial path with no clip context.
+  progress.OnFramesCommitted(7, 2);   // Out of range: run total only.
+  ProgressSnapshot snap = progress.Snapshot();
+  EXPECT_EQ(snap.frames_committed, 5);
+  ASSERT_EQ(snap.clips.size(), 1u);
+  EXPECT_EQ(snap.clips[0].committed, 0);
+  EXPECT_GE(snap.seconds_since_last_commit, 0.0);  // Watchdog still fed.
+}
+
+TEST(RunProgressTest, SeqAdvancesPerRun) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.BeginRun("first", {});
+  const int64_t seq = progress.Snapshot().run_seq;
+  progress.EndRun();
+  progress.BeginRun("second", {});
+  EXPECT_EQ(progress.Snapshot().run_seq, seq + 1);
+  EXPECT_EQ(progress.Snapshot().run_label, "second");
+}
+
+TEST(RunProgressTest, PhaseOverridesSurviveInnerRuns) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.SetPhase("idle");
+  progress.BeginRun("auto_phase", {});
+  EXPECT_EQ(progress.Snapshot().phase, "running");
+  progress.EndRun();
+  EXPECT_EQ(progress.Snapshot().phase, "idle");
+
+  // A harness override ("prepare") spans many inner executor runs and must
+  // not be clobbered by their BeginRun/EndRun.
+  progress.SetPhase("prepare");
+  progress.BeginRun("inner", {});
+  EXPECT_EQ(progress.Snapshot().phase, "prepare");
+  progress.EndRun();
+  EXPECT_EQ(progress.Snapshot().phase, "prepare");
+}
+
+TEST(RunProgressTest, WatchdogIdleIsNegativeAndBeginRunAnchors) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.EndRun();
+  EXPECT_LT(progress.SecondsSinceRunAdvanced(), 0.0);  // Idle: healthy.
+
+  progress.BeginRun("watchdog", {1});
+  // No commit yet: the watchdog ages from BeginRun, not from -inf.
+  const double since_begin = progress.SecondsSinceRunAdvanced();
+  EXPECT_GE(since_begin, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(progress.SecondsSinceRunAdvanced(), since_begin);
+  progress.OnFramesCommitted(0, 1);
+  EXPECT_LT(progress.SecondsSinceRunAdvanced(), since_begin + 0.005);
+  progress.EndRun();
+  EXPECT_LT(progress.SecondsSinceRunAdvanced(), 0.0);
+}
+
+TEST(RunProgressTest, DisabledMethodsAreNoOps) {
+  const bool previous = ProgressEnabled();
+  SetProgressEnabled(false);
+  RunProgress& progress = RunProgress::Global();
+  const ProgressSnapshot before = progress.Snapshot();
+  progress.BeginRun("should_not_register", {100});
+  progress.OnFramesCommitted(0, 50);
+  progress.SetPhase("should_not_register");
+  const ProgressSnapshot after = progress.Snapshot();
+  EXPECT_EQ(after.run_seq, before.run_seq);
+  EXPECT_EQ(after.run_label, before.run_label);
+  EXPECT_EQ(after.frames_committed, before.frames_committed);
+  EXPECT_EQ(after.phase, before.phase);
+  SetProgressEnabled(previous);
+}
+
+TEST(RunProgressTest, ConcurrentCommitsLoseNothing) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 1000;
+  progress.BeginRun("concurrent", std::vector<int64_t>(kThreads, 1000));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        progress.OnFramesCommitted(t, 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ProgressSnapshot snap = progress.Snapshot();
+  EXPECT_EQ(snap.frames_committed, kThreads * kCommitsPerThread);
+  for (const ClipProgressSample& clip : snap.clips) {
+    EXPECT_EQ(clip.committed, kCommitsPerThread);
+  }
+  EXPECT_EQ(snap.clips_done, kThreads);
+}
+
+}  // namespace
+}  // namespace otif::obs

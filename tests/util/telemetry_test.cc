@@ -241,6 +241,73 @@ TEST(TelemetryQuantileTest, EdgeCases) {
                    HistogramQuantile(sample, 1.0));
 }
 
+TEST(TelemetryQuantileTest, SingleSample) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.single", {1.0, 2.0});
+  hist->Record(1.5);  // One sample, second bucket.
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  const HistogramSample& sample = snapshot.histograms.at(0);
+  // Every quantile lands in the one occupied bucket and interpolates
+  // inside it; the result stays within that bucket's bounds.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double v = HistogramQuantile(sample, q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 1.0), 2.0);
+}
+
+TEST(TelemetryQuantileTest, AllSamplesInOneBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.onebucket", {10.0, 20.0});
+  for (int i = 0; i < 100; ++i) hist->Record(15.0);
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  const HistogramSample& sample = snapshot.histograms.at(0);
+  // Interpolation spreads the mass linearly across (10, 20]; the quantile
+  // must never escape the occupied bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 0.5), 15.0);
+  EXPECT_GT(HistogramQuantile(sample, 0.01), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(sample, 1.0), 20.0);
+}
+
+TEST(PrometheusNameTest, SanitizesSlashesAndDots) {
+  EXPECT_EQ(PrometheusMetricName("stage/detect.sim_seconds"),
+            "otif_stage_detect_sim_seconds");
+  EXPECT_EQ(PrometheusMetricName("pipeline.runs"), "otif_pipeline_runs");
+  EXPECT_EQ(PrometheusMetricName("already_legal:name"),
+            "otif_already_legal:name");
+  EXPECT_EQ(PrometheusMetricName(""), "otif_");
+  // Every character outside [a-zA-Z0-9_:] maps to '_'.
+  EXPECT_EQ(PrometheusMetricName("a-b c%d"), "otif_a_b_c_d");
+}
+
+TEST(PrometheusNameTest, SameNameSameKindIsNotACollision) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("col.same"), registry.GetCounter("col.same"));
+}
+
+TEST(PrometheusNameDeathTest, CollidingNamesAreFatal) {
+  // "col/a.b" and "col.a/b" both sanitize to otif_col_a_b.
+  MetricsRegistry registry;
+  registry.GetCounter("col/a.b");
+  EXPECT_DEATH(registry.GetGauge("col.a/b"),
+               "telemetry metric name collision");
+}
+
+TEST(PrometheusNameDeathTest, CrossKindReuseOfOneNameIsFatal) {
+  MetricsRegistry registry;
+  registry.GetCounter("col.kind");
+  EXPECT_DEATH(registry.GetHistogram("col.kind", {1.0}),
+               "telemetry metric name collision");
+}
+
+TEST(PrometheusNameDeathTest, ExternalNamesJoinTheCollisionTable) {
+  MetricsRegistry registry;
+  registry.RegisterExternalName("span", "col/ext");
+  EXPECT_DEATH(registry.GetCounter("col.ext"),
+               "telemetry metric name collision");
+}
+
 TEST(TelemetryExportTest, JsonContainsAllSections) {
   MetricsRegistry registry;
   registry.GetCounter("json.counter")->Add(3);

@@ -5,6 +5,9 @@
 # allocations must be exactly zero at the single-worker serial point), a
 # streaming-executor smoke run (validates the cross-clip batch telemetry
 # sections and that streaming detector batches exceed the serial ones), a
+# live-introspection smoke run (all four HTTP endpoints scraped over an
+# in-flight run, Prometheus exposition and /statusz schema validated, the
+# /healthz stall watchdog tripped on an induced pause), a
 # timeline-trace capture validated as Chrome trace-event JSON, a
 # mechanics test of the perf-baseline regression gate (self-compare must
 # pass, a perturbed baseline must fail), a microbench gate that the fused
@@ -157,6 +160,30 @@ OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput --executor=streaming \
   | python3 -c "$VALIDATE_STREAMING" build/throughput_serial_8x120.json
 require_pipe_ok "${PIPESTATUS[@]}"
 
+echo "== smoke: live introspection endpoints over an in-flight run =="
+# A streaming bench with the HTTP introspection server on an ephemeral port
+# (OTIF_METRICS_PORT=0; the bound port lands in OTIF_METRICS_PORT_FILE).
+# The validator scrapes all four endpoints mid-run: /metrics must be legal
+# Prometheus 0.0.4 exposition, /statusz must show per-clip commits growing
+# monotonically within one run generation, /tracez must be armed, and the
+# bench's induced post-run pause (OTIF_BENCH_STALL_SEC, against a short
+# OTIF_STALL_SEC watchdog window) must flip /healthz to 503 "stalled".
+# Bit-identity of the run itself is covered by obs_test.
+rm -f build/metrics_port
+OTIF_LOG_LEVEL=warning OTIF_METRICS_PORT=0 \
+  OTIF_METRICS_PORT_FILE=build/metrics_port \
+  OTIF_STALL_SEC=0.2 OTIF_BENCH_STALL_SEC=2 \
+  ./build/bench/bench_throughput --executor=streaming 12 1200 \
+  > build/throughput_introspect.json &
+INTROSPECT_PID=$!
+if ! python3 tools/validate_introspection.py build/metrics_port; then
+  kill "$INTROSPECT_PID" 2>/dev/null || true
+  wait "$INTROSPECT_PID" 2>/dev/null || true
+  echo "ERROR: live introspection validation failed" >&2
+  exit 1
+fi
+wait "$INTROSPECT_PID"
+
 echo "== smoke: timeline trace capture (Chrome trace-event JSON) =="
 VALIDATE_TIMELINE='
 import json, sys
@@ -254,7 +281,7 @@ fi
 
 echo "== tsan: build concurrency tests =="
 cmake -B build-tsan -S . -DOTIF_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target util_test mem_test core_test
+cmake --build build-tsan -j --target util_test mem_test core_test obs_test
 
 echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/util_test \
@@ -262,5 +289,7 @@ echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/mem_test --gtest_filter='BufferPool*'
 ./build-tsan/tests/core_test \
   --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*:Channel*:CrossClipBatcher*:StreamingExecutor*'
+./build-tsan/tests/obs_test \
+  --gtest_filter='IntrospectionServer*:RunProgress*'
 
 echo "== all checks passed =="
