@@ -23,8 +23,17 @@
 // carries the cross-clip batch-fill distribution and the stage channels'
 // queue-depth percentiles.
 //
-// Usage: bench_throughput [--executor=serial|streaming] [clips]
-//                         [frames_per_clip]
+// With --profile each sweep point's measured repetitions run under the
+// sampling CPU profiler (src/obs/profiler); the report then carries a
+// "profile" section per point: sample/drop counts, the measured signal-
+// handler overhead as a fraction of profiled CPU, and the top-K inclusive
+// frames ("which functions is the CPU actually inside or beneath").
+// Profiling is observational only — throughput numbers remain comparable
+// with runs that did not pass the flag (minus the ~per-sample handler cost
+// the overhead_fraction field itself reports).
+//
+// Usage: bench_throughput [--executor=serial|streaming] [--profile]
+//                         [clips] [frames_per_clip]
 
 #include <algorithm>
 #include <chrono>
@@ -40,6 +49,7 @@
 #include "core/executor/streaming_executor.h"
 #include "core/pipeline.h"
 #include "mem/buffer_pool.h"
+#include "obs/profiler.h"
 #include "obs/run_progress.h"
 #include "models/cost_model.h"
 #include "models/proxy.h"
@@ -156,12 +166,15 @@ int main(int argc, char** argv) {
   otif::telemetry::SetEnabled(true);
 
   bool streaming = false;
+  bool profile = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--executor=streaming") == 0) {
       streaming = true;
     } else if (std::strcmp(argv[i], "--executor=serial") == 0) {
       streaming = false;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -236,12 +249,35 @@ int main(int argc, char** argv) {
     const otif::mem::BufferPool::Stats mem_before =
         otif::mem::BufferPool::Global().GetStats();
     constexpr int kReps = 3;
+    // --profile: sample the measured reps (not the warm-ups) so the top
+    // frames describe exactly the window the throughput numbers cover.
+    bool profiling = false;
+    if (profile) {
+      const otif::Status started = otif::obs::CpuProfiler::Global().Start();
+      profiling = started.ok();
+      if (!profiling) {
+        std::fprintf(stderr, "profiler disabled: %s\n",
+                     started.ToString().c_str());
+      }
+    }
     double best = run_once();
     double wall_sum = best;
     for (int rep = 1; rep < kReps; ++rep) {
       const double seconds = run_once();
       wall_sum += seconds;
       best = std::min(best, seconds);
+    }
+    otif::obs::Profile prof;
+    if (profiling) {
+      otif::StatusOr<otif::obs::Profile> stopped =
+          otif::obs::CpuProfiler::Global().Stop();
+      if (stopped.ok()) {
+        prof = std::move(stopped.value());
+      } else {
+        profiling = false;
+        std::fprintf(stderr, "profiler stop failed: %s\n",
+                     stopped.status().ToString().c_str());
+      }
     }
     const otif::mem::BufferPool::Stats mem_after =
         otif::mem::BufferPool::Global().GetStats();
@@ -322,6 +358,38 @@ int main(int argc, char** argv) {
     report.Key("bytes_retained").Value(mem_after.bytes_retained);
     report.Key("arena_bytes_reserved").Value(mem_after.arena_bytes_reserved);
     report.EndObject();
+    if (profile) {
+      report.Key("profile").BeginObject();
+      report.Key("enabled").Value(profiling);
+      if (profiling) {
+        report.Key("hz").Value(prof.hz);
+        report.Key("duration_seconds").Value(prof.duration_seconds);
+        report.Key("samples").Value(prof.samples);
+        report.Key("dropped").Value(prof.dropped);
+        report.Key("signal_overhead_seconds")
+            .Value(prof.signal_overhead_seconds);
+        // Samples fire at `hz` per consumed CPU second, so samples/hz
+        // estimates the CPU the window profiled; handler CPU over that is
+        // the profiler's own overhead fraction (what the check.sh gate
+        // bounds at 5%). Immune to wall-clock noise, unlike an A/B of two
+        // bench runs.
+        const double cpu_seconds =
+            prof.hz > 0 ? static_cast<double>(prof.samples) / prof.hz : 0.0;
+        report.Key("overhead_fraction")
+            .Value(cpu_seconds > 0.0
+                       ? prof.signal_overhead_seconds / cpu_seconds
+                       : 0.0);
+        report.Key("top_frames").BeginArray();
+        for (const auto& [symbol, count] : otif::obs::TopFrames(prof, 40)) {
+          report.BeginObject();
+          report.Key("symbol").Value(symbol);
+          report.Key("count").Value(count);
+          report.EndObject();
+        }
+        report.EndArray();
+      }
+      report.EndObject();
+    }
     // Frames per detector invocation at the point the model actually ran —
     // the cross-clip batching win shows up as a larger mean here.
     report.Key("detect_batch").BeginObject();

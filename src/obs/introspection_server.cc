@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/buffer_pool.h"
+#include "obs/profiler.h"
 #include "obs/prometheus.h"
 #include "obs/run_progress.h"
 #include "util/json_writer.h"
@@ -188,12 +189,91 @@ std::string RenderTracez(int limit) {
 
 const char kIndexBody[] =
     "otif introspection endpoints:\n"
-    "  /metrics  Prometheus text exposition of the telemetry registry\n"
-    "  /healthz  liveness + commit-stall watchdog\n"
-    "  /statusz  JSON run status (per-clip progress, queues, pool)\n"
-    "  /tracez   last completed spans from the timeline rings\n";
+    "  /metrics   Prometheus text exposition of the telemetry registry\n"
+    "  /healthz   liveness + commit-stall watchdog\n"
+    "  /statusz   JSON run status (per-clip progress, queues, pool)\n"
+    "  /tracez    last completed spans from the timeline rings (?n=<1..10000>)\n"
+    "  /profilez  sampling CPU profile (?seconds=<0.01..60>, "
+    "?fmt=collapsed|json)\n";
+
+/// Strict decimal integer parse: the whole string must be consumed and fit
+/// in int64_t. atoi-style silent prefixes would turn "5xyz" into 5, which a
+/// query validator must reject.
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+/// Strict finite double parse (whole string consumed).
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!(value == value) || value > 1e300 || value < -1e300) return false;
+  *out = value;
+  return true;
+}
+
+/// Bounded-cardinality endpoint label for the request counters. Anything
+/// outside the known path set (404s, typos) folds into "other" so a
+/// scanning client cannot mint unbounded metric names.
+const char* EndpointLabel(const std::string& path_with_query) {
+  std::string_view path(path_with_query);
+  const size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+  if (path == "/metrics") return "metrics";
+  if (path == "/statusz") return "statusz";
+  if (path == "/healthz") return "healthz";
+  if (path == "/tracez") return "tracez";
+  if (path == "/profilez") return "profilez";
+  if (path == "/" || path.empty()) return "index";
+  return "other";
+}
+
+/// HTTP method tokens are uppercase letters; anything else on the front of
+/// the request line is noise, not a method we should answer 405 for.
+bool IsMethodToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+IntrospectionServer::Response BadQuery(const std::string& message) {
+  return {400, "text/plain", message + "\n"};
+}
 
 }  // namespace
+
+bool ParseQueryString(std::string_view query,
+                      std::map<std::string, std::string>* out) {
+  out->clear();
+  if (query.empty()) return true;
+  size_t pos = 0;
+  for (;;) {
+    const size_t amp = query.find('&', pos);
+    const size_t end = amp == std::string_view::npos ? query.size() : amp;
+    const std::string_view segment = query.substr(pos, end - pos);
+    if (segment.empty()) return false;  // "&&", leading or trailing '&'.
+    const size_t eq = segment.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    const bool inserted =
+        out->emplace(std::string(segment.substr(0, eq)),
+                     std::string(segment.substr(eq + 1)))
+            .second;
+    if (!inserted) return false;  // Repeated key: ambiguous, reject.
+    if (amp == std::string_view::npos) return true;
+    pos = amp + 1;
+  }
+}
 
 IntrospectionServer::IntrospectionServer(const Options& options)
     : options_(options) {}
@@ -268,22 +348,13 @@ void IntrospectionServer::ServeConnection(int fd) const {
   // head so a misbehaving client cannot make the server buffer unboundedly.
   std::string head;
   char buf[1024];
-  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+  while (head.size() < kMaxHeadBytes &&
+         head.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) break;
     head.append(buf, static_cast<size_t>(n));
   }
-  const size_t line_end = head.find("\r\n");
-  const std::vector<std::string> parts = StrSplit(
-      line_end == std::string::npos ? head : head.substr(0, line_end), ' ');
-  Response response;
-  if (parts.size() < 2) {
-    response = {400, "text/plain", "bad request\n"};
-  } else if (parts[0] != "GET" && parts[0] != "HEAD") {
-    response = {405, "text/plain", "only GET is supported\n"};
-  } else {
-    response = Handle(parts[1]);  // Handle strips any query string.
-  }
+  const Response response = HandleRequest(head);
   const char* reason = response.status == 200   ? "OK"
                        : response.status == 400 ? "Bad Request"
                        : response.status == 404 ? "Not Found"
@@ -295,7 +366,7 @@ void IntrospectionServer::ServeConnection(int fd) const {
       "Connection: close\r\n\r\n",
       response.status, reason, response.content_type.c_str(),
       response.body.size());
-  if (parts.empty() || parts[0] != "HEAD") out += response.body;
+  if (head.rfind("HEAD ", 0) != 0) out += response.body;
   size_t written = 0;
   while (written < out.size()) {
     const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
@@ -304,11 +375,113 @@ void IntrospectionServer::ServeConnection(int fd) const {
   }
 }
 
+IntrospectionServer::Response IntrospectionServer::HandleRequest(
+    const std::string& head) const {
+  const auto started = std::chrono::steady_clock::now();
+  const size_t line_end = head.find("\r\n");
+  Response response;
+  const char* endpoint = "other";
+  if (line_end == std::string::npos && head.size() >= kMaxHeadBytes) {
+    response = {400, "text/plain", "request line too large\n"};
+  } else {
+    const std::vector<std::string> parts = StrSplit(
+        line_end == std::string::npos ? head : head.substr(0, line_end), ' ');
+    if (parts.size() < 2 || !IsMethodToken(parts[0])) {
+      response = {400, "text/plain", "bad request\n"};
+    } else if (parts[0] != "GET" && parts[0] != "HEAD") {
+      response = {405, "text/plain", "only GET and HEAD are supported\n"};
+    } else {
+      endpoint = EndpointLabel(parts[1]);
+      response = Handle(parts[1]);
+    }
+  }
+  // Self-instrumentation: the server shows up in its own /metrics like any
+  // other subsystem. Bounded name cardinality: EndpointLabel folds unknown
+  // paths into "other" and the status set is the fixed table above.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  registry.GetHistogram("obs.scrape_seconds")->Record(elapsed);
+  registry
+      .GetCounter(
+          StrFormat("obs.http.requests.%s.%d", endpoint, response.status))
+      ->Add(1);
+  return response;
+}
+
 IntrospectionServer::Response IntrospectionServer::Handle(
     const std::string& raw_path) const {
   std::string path = raw_path;
+  std::map<std::string, std::string> params;
   const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    if (!ParseQueryString(std::string_view(path).substr(query + 1), &params)) {
+      return BadQuery("malformed query string");
+    }
+    path.resize(query);
+  }
+  if (path == "/tracez") {
+    int limit = options_.tracez_limit;
+    if (const auto it = params.find("n"); it != params.end()) {
+      int64_t n = 0;
+      if (!ParseInt64(it->second, &n) || n < 1 || n > 10000) {
+        return BadQuery("tracez: n must be an integer in [1, 10000]");
+      }
+      limit = static_cast<int>(n);
+      params.erase(it);
+    }
+    if (!params.empty()) {
+      return BadQuery(
+          StrFormat("tracez: unknown parameter \"%s\"",
+                    params.begin()->first.c_str()));
+    }
+    return {200, "application/json", RenderTracez(limit)};
+  }
+  if (path == "/profilez") {
+    double seconds = 2.0;
+    bool as_json = false;
+    if (const auto it = params.find("seconds"); it != params.end()) {
+      if (!ParseFiniteDouble(it->second, &seconds) || seconds < 0.01 ||
+          seconds > 60.0) {
+        return BadQuery("profilez: seconds must be a number in [0.01, 60]");
+      }
+      params.erase(it);
+    }
+    if (const auto it = params.find("fmt"); it != params.end()) {
+      if (it->second == "json") {
+        as_json = true;
+      } else if (it->second != "collapsed") {
+        return BadQuery("profilez: fmt must be \"collapsed\" or \"json\"");
+      }
+      params.erase(it);
+    }
+    if (!params.empty()) {
+      return BadQuery(
+          StrFormat("profilez: unknown parameter \"%s\"",
+                    params.begin()->first.c_str()));
+    }
+    // Deliberately blocks this (single-threaded) serving loop for the
+    // window: one profile at a time is the contract, and a second scraper
+    // queuing on accept() is better than two interleaved windows. A
+    // concurrent whole-run profile (OTIF_PROFILE) makes Start fail, which
+    // maps to 503 here.
+    StatusOr<Profile> profile = CpuProfiler::Global().ProfileFor(seconds);
+    if (!profile.ok()) {
+      return {503, "text/plain",
+              StrFormat("profiler unavailable: %s\n",
+                        profile.status().ToString().c_str())};
+    }
+    if (as_json) {
+      return {200, "application/json", ProfileToJson(profile.value())};
+    }
+    return {200, "text/plain",
+            ToCollapsed(profile.value(), /*with_context=*/true)};
+  }
+  if (!params.empty()) {
+    return BadQuery(StrFormat("%s takes no query parameters",
+                              path.empty() ? "/" : path.c_str()));
+  }
   if (path == "/metrics") {
     // Refresh the mem.* mirror gauges so a scrape sees current pool state
     // (they are otherwise only published at report time).
@@ -332,9 +505,6 @@ IntrospectionServer::Response IntrospectionServer::Handle(
     w.EndObject();
     return {stalled ? 503 : 200, "application/json",
             std::move(w).TakeString()};
-  }
-  if (path == "/tracez") {
-    return {200, "application/json", RenderTracez(options_.tracez_limit)};
   }
   if (path == "/" || path.empty()) {
     return {200, "text/plain", kIndexBody};
@@ -382,6 +552,9 @@ void ProgressLogger::Loop() {
 
 IntrospectionServer* InitIntrospectionFromEnv() {
   static IntrospectionServer* server = []() -> IntrospectionServer* {
+    // Whole-run profiling (OTIF_PROFILE=<path>) rides the same init hook
+    // so every entry point that arms introspection also honors it.
+    InitProfilerFromEnv();
     const char* port_env = std::getenv("OTIF_METRICS_PORT");
     const char* progress_env = std::getenv("OTIF_PROGRESS_SEC");
     if (progress_env != nullptr) {

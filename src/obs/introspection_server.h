@@ -2,14 +2,26 @@
 #define OTIF_OBS_INTROSPECTION_SERVER_H_
 
 #include <condition_variable>
+#include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "util/status.h"
 
 namespace otif::obs {
+
+/// Parses an HTTP query string ("a=1&fmt=json") into `out`. Returns false
+/// on malformed input: an empty segment, a segment without '=', an empty
+/// key, or a repeated key. No percent-decoding — every parameter the
+/// endpoints accept is a plain number or identifier, and a stray '%' is
+/// simply part of the (then unrecognized) value. An empty query parses to
+/// an empty map.
+bool ParseQueryString(std::string_view query,
+                      std::map<std::string, std::string>* out);
 
 /// Live introspection over in-flight runs: a dependency-free embedded
 /// HTTP/1.1 server (POSIX sockets, blocking accept loop on its own thread,
@@ -27,11 +39,28 @@ namespace otif::obs {
 ///   /tracez   Last-N completed spans paired up from the seqlock timeline
 ///             rings (requires timeline collection to be armed; reports
 ///             timeline_armed so scrapers can tell "off" from "idle").
+///             ?n=<1..10000> overrides the span limit.
+///   /profilez On-demand sampling CPU profile (profiler.h): starts a
+///             windowed profile, blocks the (single-threaded) serving loop
+///             for the window, and returns the result.
+///             ?seconds=<0.01..60> window (default 2),
+///             ?fmt=collapsed|json output shape (default collapsed —
+///             pipe straight into flamegraph.pl). 503 when another window
+///             is already running or the profiler is unavailable
+///             (sanitizer builds).
 ///
-/// Every endpoint snapshots shared state first and serializes outside any
-/// lock, so a scrape never blocks worker threads beyond the snapshot
-/// mutexes the registries already use. Nothing here writes to pipeline
-/// state: runs produce bit-identical outputs with the server on or off.
+/// Query parameters go through ParseQueryString; malformed strings and
+/// out-of-range values get a 400 with a diagnostic body.
+///
+/// The server also instruments itself: obs.http.requests.<endpoint>.<code>
+/// counters and an obs.scrape_seconds histogram, visible in /metrics like
+/// every other registry metric.
+///
+/// Every endpoint (except the deliberately blocking /profilez) snapshots
+/// shared state first and serializes outside any lock, so a scrape never
+/// blocks worker threads beyond the snapshot mutexes the registries
+/// already use. Nothing here writes to pipeline state: runs produce
+/// bit-identical outputs with the server on or off.
 class IntrospectionServer {
  public:
   struct Options {
@@ -58,6 +87,10 @@ class IntrospectionServer {
   /// The bound port (the ephemeral pick when Options::port was 0).
   int port() const { return port_; }
 
+  /// Request heads larger than this without a complete request line are
+  /// rejected with a 400 instead of buffered further.
+  static constexpr size_t kMaxHeadBytes = 8192;
+
   /// One rendered HTTP response body. Exposed so tests can exercise every
   /// endpoint without sockets.
   struct Response {
@@ -66,9 +99,22 @@ class IntrospectionServer {
     std::string body;
   };
 
-  /// Renders the endpoint at `path` (query string ignored); unknown paths
-  /// get a 404 index. Thread-safe, read-only.
+  /// Renders the endpoint at `path`. The query string (everything after
+  /// '?') is parsed with ParseQueryString; a malformed query, an unknown
+  /// parameter, or an out-of-range value gets a 400. Unknown paths get a
+  /// 404 index. Thread-safe; read-only except /profilez, which runs a
+  /// blocking profiling window.
   Response Handle(const std::string& path) const;
+
+  /// Full request path: parses the HTTP head read off a connection —
+  /// 400 when the request line never terminates within kMaxHeadBytes or
+  /// the line is malformed (fewer than two tokens, or a method token that
+  /// is not all uppercase letters), 405 for a well-formed method other
+  /// than GET/HEAD — then dispatches to Handle(). Also the
+  /// instrumentation point: bumps obs.http.requests.<endpoint>.<status>
+  /// and records obs.scrape_seconds. Exposed so tests can drive the HTTP
+  /// edge cases without sockets.
+  Response HandleRequest(const std::string& head) const;
 
  private:
   explicit IntrospectionServer(const Options& options);
@@ -117,6 +163,9 @@ class ProgressLogger {
 ///  - OTIF_STALL_SEC: /healthz watchdog window in seconds (default 30).
 ///  - OTIF_PROGRESS_SEC: when > 0, arms run-progress recording and starts a
 ///    process-lifetime ProgressLogger at that interval — works with or
+///    without the HTTP server.
+///  - OTIF_PROFILE=<path>: whole-run CPU profile, dumped to <path> at exit
+///    (delegated to InitProfilerFromEnv; see profiler.h). Works with or
 ///    without the HTTP server.
 ///
 /// Returns the running server (nullptr when OTIF_METRICS_PORT is unset or

@@ -17,6 +17,7 @@ namespace otif::telemetry {
 inline constexpr uint32_t kTelemetryFlag = 1u << 0;  // Aggregate metrics.
 inline constexpr uint32_t kTimelineFlag = 1u << 1;   // Event ring buffers.
 inline constexpr uint32_t kProgressFlag = 1u << 2;   // Live run progress.
+inline constexpr uint32_t kProfilerFlag = 1u << 3;   // Sampling CPU profiler.
 
 /// Current flag word (one relaxed atomic load).
 uint32_t Flags();

@@ -63,6 +63,12 @@ class ScopedSpan {
       timeline_site_ = site;
       timeline::EmitBegin(site);
     }
+    if (flags & kProfilerFlag) {
+      // Publish this span as the thread's innermost so the sampling
+      // profiler can attribute SIGPROF samples to a stage (profiler.h).
+      profile_parent_ = timeline::ExchangeCurrentSpanSite(site);
+      profile_pushed_ = true;
+    }
   }
 
   ~ScopedSpan() {
@@ -72,6 +78,9 @@ class ScopedSpan {
                         .count());
     }
     if (timeline_site_ != nullptr) timeline::EmitEnd(timeline_site_);
+    // Keyed on the constructor's flag sample, not a fresh one, so every
+    // push is popped even if the profiler stops mid-span.
+    if (profile_pushed_) timeline::ExchangeCurrentSpanSite(profile_parent_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -80,6 +89,8 @@ class ScopedSpan {
  private:
   SpanSite* site_ = nullptr;
   const SpanSite* timeline_site_ = nullptr;
+  const SpanSite* profile_parent_ = nullptr;
+  bool profile_pushed_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -19,6 +19,11 @@ namespace {
 
 thread_local TraceContext t_context;
 
+/// Innermost open span of this thread, for profiler sample attribution.
+/// Written only by the owning thread (ScopedSpan); read by that thread's
+/// own SIGPROF handler, so no atomics are needed.
+thread_local const SpanSite* t_current_site = nullptr;
+
 /// Nanoseconds since the process trace epoch (anchored on first use so
 /// exported timestamps start near zero).
 int64_t NowNs() {
@@ -212,6 +217,14 @@ void FatalDumpHandler(const char* message) {
 }  // namespace
 
 TraceContext CurrentContext() { return t_context; }
+
+const SpanSite* CurrentSpanSite() { return t_current_site; }
+
+const SpanSite* ExchangeCurrentSpanSite(const SpanSite* site) {
+  const SpanSite* previous = t_current_site;
+  t_current_site = site;
+  return previous;
+}
 
 ScopedContext::ScopedContext(TraceContext context) : previous_(t_context) {
   t_context = context;

@@ -41,6 +41,19 @@ struct TraceContext {
 /// The calling thread's current context (default-constructed when unset).
 TraceContext CurrentContext();
 
+/// The innermost span site currently open on the calling thread, or nullptr
+/// outside any span. Maintained by ScopedSpan *only while the profiler flag
+/// (telemetry::kProfilerFlag) is set, so the everything-off cost stays one
+/// relaxed flag load. Read by the SIGPROF handler to attribute samples to a
+/// stage: a plain thread-local pointer (local-exec TLS in this static
+/// build), so the read is async-signal-safe and never torn — the handler
+/// interrupts the very thread that owns the slot.
+const SpanSite* CurrentSpanSite();
+
+/// Installs `site` as the thread's innermost span and returns the previous
+/// one (ScopedSpan restores it on destruction, giving stack semantics).
+const SpanSite* ExchangeCurrentSpanSite(const SpanSite* site);
+
 /// RAII: installs `context` as the calling thread's context and restores
 /// the previous one on destruction. Scopes may nest.
 class ScopedContext {

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "util/status.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
+#include "util/trace_timeline.h"
 
 namespace otif::obs {
 namespace {
@@ -131,10 +134,146 @@ TEST(IntrospectionServerTest, IndexAndNotFound) {
   const IntrospectionServer::Response index = server->Handle("/");
   EXPECT_EQ(index.status, 200);
   EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.body.find("/profilez"), std::string::npos);
   EXPECT_EQ(server->Handle("/nope").status, 404);
-  // Query strings are ignored, not 404ed.
-  EXPECT_EQ(server->Handle("/healthz?verbose=1").status,
-            server->Handle("/healthz").status);
+  // Parameters an endpoint does not define are rejected, not ignored: a
+  // scraper typo ("?seconds=2" on the wrong path) should fail loudly.
+  EXPECT_EQ(server->Handle("/healthz?verbose=1").status, 400);
+}
+
+TEST(IntrospectionServerTest, ParseQueryStringTable) {
+  struct Case {
+    const char* query;
+    bool ok;
+  };
+  const Case cases[] = {
+      {"", true},
+      {"a=1", true},
+      {"a=1&b=two", true},
+      {"a=", true},       // Empty value is fine; empty key is not.
+      {"a==b", true},     // Value containing '='.
+      {"=1", false},      // Empty key.
+      {"a", false},       // No '='.
+      {"a=1&", false},    // Trailing separator.
+      {"&a=1", false},    // Leading separator.
+      {"a=1&&b=2", false},  // Empty segment.
+      {"a=1&a=2", false},   // Repeated key.
+  };
+  for (const Case& c : cases) {
+    std::map<std::string, std::string> params;
+    EXPECT_EQ(ParseQueryString(c.query, &params), c.ok) << c.query;
+  }
+  std::map<std::string, std::string> params;
+  ASSERT_TRUE(ParseQueryString("n=25&fmt=json", &params));
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params["n"], "25");
+  EXPECT_EQ(params["fmt"], "json");
+}
+
+TEST(IntrospectionServerTest, TracezLimitParameter) {
+  telemetry::timeline::SetCollectionEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    OTIF_SPAN("obs_test/tracez_span");
+  }
+  auto server = StartOrDie();
+  const IntrospectionServer::Response r = server->Handle("/tracez?n=2");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"span_count\": 2"), std::string::npos) << r.body;
+  // Range and grammar violations are 400s, not silent defaults.
+  EXPECT_EQ(server->Handle("/tracez?n=0").status, 400);
+  EXPECT_EQ(server->Handle("/tracez?n=10001").status, 400);
+  EXPECT_EQ(server->Handle("/tracez?n=abc").status, 400);
+  EXPECT_EQ(server->Handle("/tracez?n=5x").status, 400);
+  EXPECT_EQ(server->Handle("/tracez?m=5").status, 400);
+  EXPECT_EQ(server->Handle("/tracez?n=5&n=6").status, 400);
+  telemetry::timeline::SetCollectionEnabled(false);
+}
+
+TEST(IntrospectionServerTest, ProfilezValidatesParameters) {
+  auto server = StartOrDie();
+  EXPECT_EQ(server->Handle("/profilez?seconds=0").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?seconds=-1").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?seconds=61").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?seconds=nan").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?seconds=2x").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?fmt=svg").status, 400);
+  EXPECT_EQ(server->Handle("/profilez?bogus=1").status, 400);
+}
+
+TEST(IntrospectionServerTest, ProfilezServesAWindow) {
+  auto server = StartOrDie();
+  const IntrospectionServer::Response r =
+      server->Handle("/profilez?seconds=0.05&fmt=json");
+  // Sanitizer builds refuse to profile; the endpoint maps that to 503.
+  if (r.status == 503) {
+    EXPECT_NE(r.body.find("profiler unavailable"), std::string::npos);
+    GTEST_SKIP() << "profiler unavailable: " << r.body;
+  }
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"hz\""), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"stacks\""), std::string::npos) << r.body;
+  // Collapsed is the default rendering.
+  const IntrospectionServer::Response collapsed =
+      server->Handle("/profilez?seconds=0.05");
+  EXPECT_EQ(collapsed.status, 200);
+  EXPECT_NE(collapsed.content_type.find("text/plain"), std::string::npos);
+}
+
+TEST(IntrospectionServerTest, RequestLineEdgeCases) {
+  auto server = StartOrDie();
+  // Well-formed GET dispatches to the endpoint.
+  EXPECT_EQ(server->HandleRequest("GET /healthz HTTP/1.1\r\n\r\n").status,
+            200);
+  EXPECT_EQ(server->HandleRequest("HEAD / HTTP/1.1\r\n\r\n").status, 200);
+  // Known methods we do not serve: 405. Garbage methods: 400.
+  EXPECT_EQ(server->HandleRequest("POST /metrics HTTP/1.1\r\n\r\n").status,
+            405);
+  EXPECT_EQ(server->HandleRequest("DELETE / HTTP/1.1\r\n\r\n").status, 405);
+  EXPECT_EQ(server->HandleRequest("get / HTTP/1.1\r\n\r\n").status, 400);
+  EXPECT_EQ(server->HandleRequest("\r\n\r\n").status, 400);
+  EXPECT_EQ(server->HandleRequest("GET\r\n\r\n").status, 400);
+  EXPECT_EQ(server->HandleRequest("").status, 400);
+  // A request line that never terminates within the head cap is rejected,
+  // not buffered further.
+  const std::string oversized(IntrospectionServer::kMaxHeadBytes, 'A');
+  const IntrospectionServer::Response r = server->HandleRequest(oversized);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("too large"), std::string::npos);
+  // An oversized but line-terminated request still routes (long paths 404).
+  const std::string long_path =
+      "GET /" + std::string(IntrospectionServer::kMaxHeadBytes, 'b') +
+      " HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(server->HandleRequest(long_path).status, 404);
+}
+
+TEST(IntrospectionServerTest, RequestsAreCountedPerEndpointAndStatus) {
+  auto server = StartOrDie();
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  const int64_t healthz_before =
+      registry.GetCounter("obs.http.requests.healthz.200")->value();
+  const int64_t other_before =
+      registry.GetCounter("obs.http.requests.other.404")->value();
+  const int64_t bad_before =
+      registry.GetCounter("obs.http.requests.other.400")->value();
+  const auto scrapes_before =
+      registry.GetHistogram("obs.scrape_seconds")->count();
+  server->HandleRequest("GET /healthz HTTP/1.1\r\n\r\n");
+  server->HandleRequest("GET /unknown/path HTTP/1.1\r\n\r\n");
+  server->HandleRequest("bogus\r\n\r\n");
+  EXPECT_EQ(registry.GetCounter("obs.http.requests.healthz.200")->value(),
+            healthz_before + 1);
+  EXPECT_EQ(registry.GetCounter("obs.http.requests.other.404")->value(),
+            other_before + 1);
+  EXPECT_EQ(registry.GetCounter("obs.http.requests.other.400")->value(),
+            bad_before + 1);
+  EXPECT_EQ(registry.GetHistogram("obs.scrape_seconds")->count(),
+            scrapes_before + 3);
+  // The self-instrumentation shows up in the exposition like any metric.
+  const IntrospectionServer::Response metrics = server->Handle("/metrics");
+  EXPECT_NE(metrics.body.find("otif_obs_http_requests_healthz_200"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("otif_obs_scrape_seconds"), std::string::npos);
 }
 
 TEST(IntrospectionServerTest, RealSocketRoundTrip) {

@@ -5,9 +5,12 @@
 # allocations must be exactly zero at the single-worker serial point), a
 # streaming-executor smoke run (validates the cross-clip batch telemetry
 # sections and that streaming detector batches exceed the serial ones), a
-# live-introspection smoke run (all four HTTP endpoints scraped over an
+# live-introspection smoke run (all HTTP endpoints scraped over an
 # in-flight run, Prometheus exposition and /statusz schema validated, the
-# /healthz stall watchdog tripped on an induced pause), a
+# /healthz stall watchdog tripped on an induced pause), a /profilez
+# sampling-profiler smoke (2 s window over a busy streaming run must
+# produce >= 100 collapsed samples with the GEMM microkernel on a hot,
+# stage-attributed stack) plus a measured <= 5% profiler-overhead gate, a
 # timeline-trace capture validated as Chrome trace-event JSON, a
 # mechanics test of the perf-baseline regression gate (self-compare must
 # pass, a perturbed baseline must fail), a microbench gate that the fused
@@ -184,6 +187,61 @@ if ! python3 tools/validate_introspection.py build/metrics_port; then
 fi
 wait "$INTROSPECT_PID"
 
+echo "== smoke: /profilez sampling profiler over an in-flight run =="
+# A second background streaming bench; the validator rejects malformed
+# query parameters (400s), profiles a 2 s window mid-run, checks the
+# collapsed-stack grammar, demands >= 100 samples with the GEMM microkernel
+# (GemmBias) on a hot stack and stage attribution joined in, and keeps the
+# collapsed profile as build/profile.collapsed (uploaded by CI; renders
+# with flamegraph.pl). The bench is killed once validated — its report is
+# not used.
+rm -f build/profile_port build/profile.collapsed
+OTIF_LOG_LEVEL=warning OTIF_METRICS_PORT=0 \
+  OTIF_METRICS_PORT_FILE=build/profile_port \
+  ./build/bench/bench_throughput --executor=streaming 12 1200 \
+  > build/throughput_profile_run.json &
+PROFILE_PID=$!
+if ! python3 tools/validate_profile.py build/profile_port \
+    --out build/profile.collapsed; then
+  kill "$PROFILE_PID" 2>/dev/null || true
+  wait "$PROFILE_PID" 2>/dev/null || true
+  echo "ERROR: /profilez validation failed" >&2
+  exit 1
+fi
+kill "$PROFILE_PID" 2>/dev/null || true
+wait "$PROFILE_PID" 2>/dev/null || true
+
+echo "== perf: profiler overhead gate (bench --profile) =="
+# The profiler's own cost, measured from inside: samples fire at hz per
+# consumed CPU second, so samples/hz estimates the profiled CPU and the
+# accumulated signal-handler CPU over it is the overhead fraction. Must
+# stay within 5% at the default 97 Hz.
+VALIDATE_PROFILE_REPORT='
+import json, sys
+
+report = json.load(sys.stdin)
+
+points = [e["profile"] for e in report["results"]]
+assert points, "no profile sections in report"
+enabled = [p for p in points if p["enabled"]]
+assert enabled, "profiler enabled at no sweep point"
+total = sum(p["samples"] for p in enabled)
+assert total > 0, "profiler captured no samples"
+for p in enabled:
+    assert p["hz"] == 97, p
+    assert p["dropped"] <= max(1, p["samples"] // 100), p
+    assert p["overhead_fraction"] <= 0.05, p
+    if p["samples"] > 0:
+        assert p["top_frames"], p
+worst = max(p["overhead_fraction"] for p in enabled)
+print(f"profiler overhead ok: {total} samples, worst overhead "
+      f"{100.0 * worst:.2f}% (<= 5%)")
+'
+OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput --profile 8 240 \
+  | tee build/throughput_profiled.json \
+  | python3 -c "$VALIDATE_PROFILE_REPORT"
+require_pipe_ok "${PIPESTATUS[@]}"
+
 echo "== smoke: timeline trace capture (Chrome trace-event JSON) =="
 VALIDATE_TIMELINE='
 import json, sys
@@ -289,7 +347,10 @@ echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/mem_test --gtest_filter='BufferPool*'
 ./build-tsan/tests/core_test \
   --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*:Channel*:CrossClipBatcher*:StreamingExecutor*'
+# Profiler live-sampling tests self-skip under TSan (the profiler refuses
+# to start there); the filter still exercises the renderers, option
+# validation, and the refusal path.
 ./build-tsan/tests/obs_test \
-  --gtest_filter='IntrospectionServer*:RunProgress*'
+  --gtest_filter='IntrospectionServer*:RunProgress*:Profiler*'
 
 echo "== all checks passed =="

@@ -36,15 +36,26 @@ def die(message):
     sys.exit(1)
 
 
-def fetch(port, path):
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
-    try:
-        conn.request("GET", path)
-        resp = conn.getresponse()
-        return (resp.status, resp.getheader("Content-Type", ""),
-                resp.read().decode())
-    finally:
-        conn.close()
+def fetch(port, path, attempts=5, timeout=10):
+    """GET with retry/backoff: the single-threaded serving loop can be
+    briefly unreachable between accept()s (or blocked inside a /profilez
+    window), so transient connection errors back off and retry instead of
+    failing the whole validation."""
+    delay = 0.05
+    for attempt in range(attempts):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            return (resp.status, resp.getheader("Content-Type", ""),
+                    resp.read().decode())
+        except (ConnectionError, TimeoutError, OSError) as error:
+            if attempt == attempts - 1:
+                die(f"GET {path} failed after {attempts} attempts: {error}")
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+        finally:
+            conn.close()
 
 
 def wait_for_port(path, deadline_seconds=60.0):
