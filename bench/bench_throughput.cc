@@ -43,6 +43,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -55,6 +56,7 @@
 #include "models/proxy.h"
 #include "sim/dataset.h"
 #include "util/json_writer.h"
+#include "util/strings.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -97,26 +99,73 @@ double RunOnce(const otif::core::Pipeline& pipeline,
 
 double RunOnceStreaming(const otif::core::PipelineConfig& config,
                         const otif::core::TrainedModels* trained,
-                        const std::vector<otif::sim::Clip>& clips) {
+                        const std::vector<otif::sim::Clip>& clips,
+                        otif::core::StreamingRunReport* out_report) {
   // Constructed per run so the worker widths re-derive from the current
   // default-pool size at every sweep point.
   otif::core::StreamingExecutor executor(
       config, trained, otif::core::StreamingOptionsFromEnv());
   const auto start = std::chrono::steady_clock::now();
-  otif::StatusOr<std::vector<otif::core::PipelineResult>> results =
+  otif::StatusOr<otif::core::StreamingRunReport> result =
       executor.Run(clips);
   const auto end = std::chrono::steady_clock::now();
-  if (!results.ok()) {
+  if (!result.ok()) {
     std::fprintf(stderr, "streaming run failed: %s\n",
-                 results.status().ToString().c_str());
+                 result.status().ToString().c_str());
     std::abort();
   }
   int64_t total_tracks = 0;
-  for (const auto& r : *results) {
+  for (const auto& r : result->results) {
     total_tracks += static_cast<int64_t>(r.tracks.size());
   }
   if (total_tracks < 0) std::abort();
+  if (out_report != nullptr) *out_report = std::move(result.value());
   return std::chrono::duration<double>(end - start).count();
+}
+
+// --- Per-clip result digests -------------------------------------------------
+//
+// A 64-bit FNV-1a over every result field the executor's bit-identity
+// contract covers. check.sh --faults compares these digests between a
+// faulted and a fault-free run to prove surviving clips were untouched.
+
+void DigestBytes(uint64_t* h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;
+  }
+}
+
+template <typename T>
+void DigestValue(uint64_t* h, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DigestBytes(h, &value, sizeof(value));
+}
+
+uint64_t ResultDigest(const otif::core::PipelineResult& r) {
+  uint64_t h = 14695981039346656037ull;
+  DigestValue(&h, r.frames_processed);
+  DigestValue(&h, r.detections_kept);
+  DigestValue(&h, r.mean_window_coverage);
+  for (int c = 0; c < otif::models::kNumCostCategories; ++c) {
+    DigestValue(
+        &h, r.clock.Seconds(static_cast<otif::models::CostCategory>(c)));
+  }
+  for (const otif::track::Track& t : r.tracks) {
+    DigestValue(&h, t.id);
+    DigestValue(&h, t.cls);
+    for (const otif::track::Detection& d : t.detections) {
+      DigestValue(&h, d.frame);
+      DigestValue(&h, d.box.cx);
+      DigestValue(&h, d.box.cy);
+      DigestValue(&h, d.box.w);
+      DigestValue(&h, d.box.h);
+      DigestValue(&h, d.cls);
+      DigestValue(&h, d.confidence);
+    }
+  }
+  return h;
 }
 
 double StageWallSeconds(const otif::telemetry::TelemetrySnapshot& snapshot,
@@ -227,11 +276,13 @@ int main(int argc, char** argv) {
   report.Key("hardware_concurrency").Value(hw);
   report.Key("results").BeginArray();
   otif::telemetry::TelemetrySnapshot snapshot;
+  otif::core::StreamingRunReport last_streaming;
   for (const int workers : worker_counts) {
     otif::ThreadPool::SetDefaultThreads(workers);
     const auto run_once = [&] {
-      return streaming ? RunOnceStreaming(config, &trained, clips)
-                       : RunOnce(pipeline, clips);
+      return streaming
+                 ? RunOnceStreaming(config, &trained, clips, &last_streaming)
+                 : RunOnce(pipeline, clips);
     };
     // Warm-up: the first run faults in clip state and the proxy cache; the
     // second runs the warm-cache code path the measured reps take, faulting
@@ -421,6 +472,43 @@ int main(int argc, char** argv) {
     report.EndObject();
   }
   report.EndArray();
+  if (streaming) {
+    // Per-clip digests and the fault-recovery report of the LAST streaming
+    // run (the highest worker count). In a fault-free run failed_clips is
+    // empty and the digests match any other fault-free invocation —
+    // check.sh --faults leans on both properties.
+    report.Key("clip_digests").BeginArray();
+    for (size_t i = 0; i < last_streaming.results.size(); ++i) {
+      const bool failed =
+          std::any_of(last_streaming.failed_clips.begin(),
+                      last_streaming.failed_clips.end(),
+                      [&](const otif::core::FailedClip& f) {
+                        return f.clip_index == static_cast<int>(i);
+                      });
+      const bool degraded =
+          std::find(last_streaming.degraded_clips.begin(),
+                    last_streaming.degraded_clips.end(),
+                    static_cast<int>(i)) != last_streaming.degraded_clips.end();
+      report.BeginObject();
+      report.Key("clip").Value(static_cast<int64_t>(i));
+      report.Key("digest").Value(otif::StrFormat(
+          "%016llx", static_cast<unsigned long long>(
+                         ResultDigest(last_streaming.results[i]))));
+      report.Key("failed").Value(failed);
+      report.Key("degraded").Value(degraded);
+      report.EndObject();
+    }
+    report.EndArray();
+    report.Key("failed_clips").BeginArray();
+    for (const otif::core::FailedClip& f : last_streaming.failed_clips) {
+      report.BeginObject();
+      report.Key("clip").Value(f.clip_index);
+      report.Key("status").Value(f.status.ToString());
+      report.Key("retries").Value(f.retries);
+      report.EndObject();
+    }
+    report.EndArray();
+  }
   report.Key("telemetry").RawValue(otif::telemetry::SnapshotToJson(snapshot));
   report.EndObject();
   std::printf("%s\n", std::move(report).TakeString().c_str());

@@ -75,13 +75,20 @@ EvalResult EvaluateConfigWith(ExecutorKind kind, const PipelineConfig& config,
     return EvaluateConfig(config, trained, clips, accuracy_fn);
   }
   StreamingExecutor executor(config, trained, StreamingOptionsFromEnv());
-  StatusOr<std::vector<PipelineResult>> per_clip = executor.Run(clips);
+  StatusOr<StreamingRunReport> report = executor.Run(clips);
   // The serial path CHECKs the same config invariants in the Pipeline
   // constructor, and nothing cancels this executor — a failure here is a
   // programming error, not a recoverable condition.
-  OTIF_CHECK(per_clip.ok()) << per_clip.status().ToString();
+  OTIF_CHECK(report.ok()) << report.status().ToString();
+  if (!report->failed_clips.empty()) {
+    // Quarantined clips (fault runs only) contribute empty track lists, so
+    // the accuracy below understates the config. Config search under
+    // injected faults is a chaos exercise, not a measurement — warn.
+    OTIF_LOG(kWarning) << "config evaluation: " << report->failed_clips.size()
+                       << " clip(s) quarantined; accuracy is a lower bound";
+  }
   EvalResult result;
-  for (PipelineResult& r : *per_clip) {
+  for (PipelineResult& r : report->results) {
     result.clock.Merge(r.clock);
     result.tracks_per_clip.push_back(std::move(r.tracks));
   }

@@ -1,13 +1,16 @@
 #ifndef OTIF_CORE_EXECUTOR_CHANNEL_H_
 #define OTIF_CORE_EXECUTOR_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/telemetry.h"
 
 namespace otif::core::executor {
@@ -45,6 +48,7 @@ class Channel {
       occupancy_ = reg.GetHistogram(
           "executor.channel." + name + ".occupancy",
           {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+      fault_site_ = fault::GetSite("channel." + name);
     }
   }
 
@@ -54,6 +58,19 @@ class Channel {
   /// Blocks while full. Returns true when the item was enqueued, false when
   /// the channel is (or becomes) closed — the item is dropped in that case.
   bool Push(T item) {
+    // Chaos hook: "channel.<name>" can stall the producer (backpressure /
+    // slow-upstream simulation) or close the channel out from under it
+    // (which makes this very Push return false, like any downstream close).
+    if (fault_site_ != nullptr && fault::Enabled()) {
+      fault::Injection inj;
+      if (fault_site_->Inject(/*token=*/-1, &inj)) {
+        if (inj.kind == fault::Kind::kStall) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(inj.stall_ms));
+        } else if (inj.kind == fault::Kind::kClose) {
+          Close();
+        }
+      }
+    }
     size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -124,6 +141,7 @@ class Channel {
   bool closed_ = false;   // Guarded by mu_.
   telemetry::Gauge* depth_gauge_ = nullptr;   // Null => telemetry off.
   telemetry::Histogram* occupancy_ = nullptr;
+  fault::Site* fault_site_ = nullptr;  // Null for unnamed channels.
 };
 
 }  // namespace otif::core::executor

@@ -8,9 +8,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/telemetry.h"
 
 namespace otif::core::executor {
@@ -74,6 +76,7 @@ class CrossClipBatcher {
         reg.GetCounter("executor.batch." + name + ".releases_full");
     deadline_releases_counter_ =
         reg.GetCounter("executor.batch." + name + ".releases_deadline");
+    fault_site_ = fault::GetSite("batcher." + name + ".submit");
   }
 
   CrossClipBatcher(const CrossClipBatcher&) = delete;
@@ -84,6 +87,17 @@ class CrossClipBatcher {
   /// when the request was processed, false when the batcher was closed
   /// first (the request was NOT processed; the caller must handle it).
   bool Submit(Request* req, int units) {
+    // Chaos hook: "batcher.<name>.submit" stalls this submitter before it
+    // joins a wave, exercising the deadline-release path (followers time
+    // out and lead partial waves while a producer lags). Only kStall is
+    // honoured here — Submit has no output to corrupt or deny.
+    if (fault::Enabled()) {
+      fault::Injection inj;
+      if (fault_site_->Inject(/*token=*/-1, &inj) &&
+          inj.kind == fault::Kind::kStall) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(inj.stall_ms));
+      }
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return false;
     if (current_ == nullptr) {
@@ -197,6 +211,7 @@ class CrossClipBatcher {
   telemetry::Histogram* fill_hist_;
   telemetry::Counter* full_releases_counter_;
   telemetry::Counter* deadline_releases_counter_;
+  fault::Site* fault_site_;
 };
 
 }  // namespace otif::core::executor

@@ -18,7 +18,9 @@
 #include "core/stages.h"
 #include "models/proxy.h"
 #include "obs/run_progress.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/strings.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -53,6 +55,64 @@ telemetry::Histogram* DetectInvocationFrames() {
 telemetry::Counter* StageGroupsCounter(const char* stage) {
   return telemetry::MetricsRegistry::Global().GetCounter(
       std::string("executor.stage.") + stage + ".groups");
+}
+
+// Recovery counters (fault runs only; never incremented while disarmed).
+telemetry::Counter* RetriesCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Global().GetCounter("executor.retries");
+  return c;
+}
+
+telemetry::Counter* QuarantinedCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "executor.quarantined_clips");
+  return c;
+}
+
+telemetry::Counter* DegradedCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "executor.degraded_clips");
+  return c;
+}
+
+/// How many consecutive injected transient errors exhaust a stage's retry
+/// budget for one group.
+constexpr int kMaxFaultAttempts = 4;
+
+/// Consults a model-invocation fault site before the stage compute runs.
+/// Transient (kError) decisions retry in place with bounded exponential
+/// backoff; because the fault fires PRE-invocation, no stage state was
+/// touched and the retry is just a fresh decision with the next attempt
+/// token — replay-deterministic and independent of worker interleaving.
+/// kStall sleeps (latency spike) and succeeds; other kinds are not
+/// meaningful for an invocation and pass through. Returns non-OK only
+/// after kMaxFaultAttempts consecutive error decisions.
+Status AttemptStage(fault::Site* site, int clip, int group, int* retries) {
+  for (int attempt = 0;; ++attempt) {
+    // Token encodes (clip, group, attempt): each retry re-rolls the site
+    // RNG, and the roll sequence is a pure function of the work item.
+    const int64_t token =
+        (static_cast<int64_t>(clip) * 1000003 + group) * 16 + attempt;
+    fault::Injection inj;
+    if (!site->Inject(clip, token, &inj)) return Status::OK();
+    if (inj.kind == fault::Kind::kStall) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(inj.stall_ms));
+      return Status::OK();
+    }
+    if (inj.kind != fault::Kind::kError) return Status::OK();
+    if (attempt + 1 >= kMaxFaultAttempts) {
+      return Status::IoError(
+          StrFormat("injected %s fault: clip %d group %d failed %d attempts",
+                    site->name().c_str(), clip, group, kMaxFaultAttempts));
+    }
+    ++*retries;
+    RetriesCounter()->Add(1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(1 << attempt, 4)));
+  }
 }
 
 int ParseEnvInt(const char* name, int fallback) {
@@ -205,7 +265,36 @@ struct ClipWork {
   std::map<int, Group> pending;  // Out-of-order arrivals; commit_mu.
   int next_group = 0;            // Next group index to commit; commit_mu.
   bool finalized = false;        // EndClip ran; commit_mu.
+
+  // Fault-recovery state (written only during fault runs). Workers read
+  // the atomics to drop or degrade this clip's groups; the plain fields
+  // are written once by the quarantine winner and read by Run after the
+  // worker join (which provides the happens-before edge).
+  std::atomic<bool> quarantined{false};
+  std::atomic<bool> proxy_degraded{false};
+  Status fail_status;
+  int fail_retries = 0;
 };
+
+/// Marks a clip as failed (first caller wins): from now on the source stops
+/// emitting its groups, workers drop in-flight ones, and the commit side
+/// discards its reassembly buffer. Reported through the quarantine counter,
+/// the live-progress registry (/statusz), and the flight recorder.
+void QuarantineClip(ClipWork* w, int clip, const Status& status,
+                    int retries) {
+  if (w->quarantined.exchange(true)) return;
+  w->fail_status = status;
+  w->fail_retries = retries;
+  QuarantinedCounter()->Add(1);
+  OTIF_LOG(kWarning) << "clip " << clip << " quarantined after " << retries
+                     << " retrie(s): " << status.ToString()
+                     << " — remaining clips continue";
+  if (obs::ProgressEnabled()) {
+    obs::RunProgress::Global().MarkClipQuarantined(clip, status.ToString());
+  }
+  telemetry::timeline::ReportError(
+      status, "streaming_executor: quarantined clip " + std::to_string(clip));
+}
 
 /// Replays the serial driver's per-group stage sequence for one group:
 /// frame counting, then decode / proxy-commit / detect-commit / track /
@@ -336,6 +425,14 @@ void SourceLoop(StreamingExecutor::RunState* s, const PipelineConfig& config,
   while (!open.empty()) {
     if (rr >= open.size()) rr = 0;
     Cursor& cur = open[rr];
+    // A quarantined clip stops at the source: drop its cursor so the
+    // remaining streams get its emission slots.
+    if (s->clips[static_cast<size_t>(cur.clip_index)]->quarantined.load(
+            std::memory_order_relaxed)) {
+      open.erase(open.begin() + static_cast<long>(rr));
+      refill();
+      continue;
+    }
     const sim::Clip& clip = clips[static_cast<size_t>(cur.clip_index)];
     Group g;
     g.clip_index = cur.clip_index;
@@ -367,9 +464,31 @@ void ProxyWorkerLoop(StreamingExecutor::RunState* s) {
   Group g;
   while (s->proxy_ch.Pop(&g)) {
     ClipWork& w = *s->clips[static_cast<size_t>(g.clip_index)];
+    if (w.quarantined.load(std::memory_order_relaxed)) continue;  // Drop.
     telemetry::timeline::ScopedContext tctx({.clip = g.clip_index});
+    // Graceful degradation: once this clip's proxy invocation has failed
+    // persistently, skip proxy compute entirely — frames keep
+    // proxy_ran == false and the detect stage falls back to full-frame
+    // detection (correct, just without the proxy's frame selection).
+    bool run_proxy = !w.proxy_degraded.load(std::memory_order_relaxed);
+    if (run_proxy && fault::Enabled()) {
+      static fault::Site* const site = fault::GetSite("proxy.invoke");
+      int retries = 0;
+      const Status st =
+          AttemptStage(site, g.clip_index, g.group_index, &retries);
+      if (!st.ok()) {
+        if (!w.proxy_degraded.exchange(true)) {
+          DegradedCounter()->Add(1);
+          OTIF_LOG(kWarning)
+              << "clip " << g.clip_index << ": proxy stage failing ("
+              << st.ToString()
+              << "); degrading to full-frame detection — accuracy may drop";
+        }
+        run_proxy = false;
+      }
+    }
     std::vector<FrameContext*> batch = g.Batch();
-    {
+    if (run_proxy) {
       telemetry::ScopedSpan span(internal::StageSpan(1));
       w.proxy.ComputeBatch(batch);
     }
@@ -389,7 +508,21 @@ void DetectWorkerLoop(StreamingExecutor::RunState* s) {
   Group g;
   while (s->detect_ch.Pop(&g)) {
     ClipWork& w = *s->clips[static_cast<size_t>(g.clip_index)];
+    if (w.quarantined.load(std::memory_order_relaxed)) continue;  // Drop.
     telemetry::timeline::ScopedContext tctx({.clip = g.clip_index});
+    if (fault::Enabled()) {
+      static fault::Site* const site = fault::GetSite("detect.invoke");
+      int retries = 0;
+      const Status st =
+          AttemptStage(site, g.clip_index, g.group_index, &retries);
+      if (!st.ok()) {
+        // Detection has no degraded fallback — a clip whose detector keeps
+        // failing is quarantined and this group dropped; the source and
+        // commit sides drain the rest of the clip.
+        QuarantineClip(&w, g.clip_index, st, retries);
+        continue;
+      }
+    }
     std::vector<FrameContext*> batch = g.Batch();
     {
       telemetry::ScopedSpan span(internal::StageSpan(2));
@@ -411,6 +544,12 @@ void CommitWorkerLoop(StreamingExecutor::RunState* s) {
     ClipWork& w = *s->clips[static_cast<size_t>(g.clip_index)];
     telemetry::timeline::ScopedContext tctx({.clip = g.clip_index});
     std::lock_guard<std::mutex> lock(w.commit_mu);
+    if (w.quarantined.load(std::memory_order_relaxed)) {
+      // Drain: discard this group and any out-of-order arrivals buffered
+      // for the failed clip (its result is discarded wholesale).
+      w.pending.clear();
+      continue;
+    }
     w.pending.emplace(g.group_index, std::move(g));
     // Drain every consecutively-ready group: the reassembly buffer holds
     // out-of-order arrivals until their predecessors committed.
@@ -481,10 +620,10 @@ Status StreamingExecutor::ValidateConfig(const PipelineConfig& config,
   return Status::OK();
 }
 
-StatusOr<std::vector<PipelineResult>> StreamingExecutor::Run(
+StatusOr<StreamingRunReport> StreamingExecutor::Run(
     const std::vector<sim::Clip>& clips) {
   OTIF_RETURN_IF_ERROR(ValidateConfig(config_, trained_));
-  if (clips.empty()) return std::vector<PipelineResult>{};
+  if (clips.empty()) return StreamingRunReport{};
 
   const ResolvedOptions opts = Resolve(options_, config_.frame_batch);
   RunState state(models::ArchByName(models::StandardDetectorArchs(),
@@ -595,13 +734,34 @@ StatusOr<std::vector<PipelineResult>> StreamingExecutor::Run(
     return Status::Cancelled("streaming executor run was cancelled");
   }
 
-  std::vector<PipelineResult> results;
-  results.reserve(state.clips.size());
-  for (std::unique_ptr<ClipWork>& w : state.clips) {
-    OTIF_CHECK(w->finalized) << "clip left unfinalized without cancellation";
-    results.push_back(std::move(w->result));
+  StreamingRunReport report;
+  report.results.reserve(state.clips.size());
+  for (size_t i = 0; i < state.clips.size(); ++i) {
+    ClipWork* w = state.clips[i].get();
+    if (w->quarantined.load(std::memory_order_relaxed)) {
+      FailedClip failed;
+      failed.clip_index = static_cast<int>(i);
+      failed.status = w->fail_status;
+      failed.retries = w->fail_retries;
+      report.failed_clips.push_back(std::move(failed));
+      // Positional placeholder so results[i] still addresses clip i.
+      report.results.emplace_back();
+      continue;
+    }
+    if (!w->finalized) {
+      // Reachable only under injected pipe faults (e.g. an early channel
+      // close): the dataflow shut down before this clip drained. Report
+      // it as a run-level error instead of crashing the process.
+      return Status::Internal(StrFormat(
+          "clip %zu left unfinalized: the stage pipeline shut down early",
+          i));
+    }
+    if (w->proxy_degraded.load(std::memory_order_relaxed)) {
+      report.degraded_clips.push_back(static_cast<int>(i));
+    }
+    report.results.push_back(std::move(w->result));
   }
-  return results;
+  return report;
 }
 
 void StreamingExecutor::Cancel() {

@@ -36,6 +36,28 @@ struct StreamingOptions {
 /// leaving the derived defaults in place).
 StreamingOptions StreamingOptionsFromEnv();
 
+/// One clip the executor gave up on: its detect stage kept failing after
+/// bounded retries, so the clip was quarantined (cancelled and drained)
+/// while the remaining streams completed.
+struct FailedClip {
+  int clip_index = -1;
+  Status status;    // The fault that exhausted the retry budget.
+  int retries = 0;  // Transient-retry count before giving up.
+};
+
+/// Result of one streaming run. `results` is positional by clip index —
+/// quarantined clips hold a default-constructed placeholder there and are
+/// reported in `failed_clips` instead. In a fault-free run failed_clips
+/// and degraded_clips are empty and `results` matches the serial reference
+/// path bit-identically.
+struct StreamingRunReport {
+  std::vector<PipelineResult> results;
+  std::vector<FailedClip> failed_clips;  // Ascending clip_index.
+  /// Clips whose proxy stage failed persistently and fell back to
+  /// full-frame detection (completed, but with degraded frame selection).
+  std::vector<int> degraded_clips;  // Ascending clip_index.
+};
+
 /// Cross-stream dataflow executor: runs the OTIF pipeline over many clips
 /// through bounded stage queues (decode/source -> proxy -> detect ->
 /// track+commit) with proxy and detector invocations batched ACROSS clips
@@ -73,8 +95,15 @@ class StreamingExecutor {
   /// Runs the pipeline over every clip, returning per-clip results ordered
   /// by clip index. Blocks until all clips finished (or the run failed /
   /// was cancelled). Must not be called concurrently with itself.
-  StatusOr<std::vector<PipelineResult>> Run(
-      const std::vector<sim::Clip>& clips);
+  ///
+  /// Fault tolerance (only reachable with OTIF_FAULTS armed): transient
+  /// model-invocation faults are retried with bounded exponential backoff;
+  /// a clip whose detect stage fails persistently is quarantined — its
+  /// remaining groups are drained and the clip lands in
+  /// StreamingRunReport::failed_clips while every other clip completes
+  /// normally — and a persistently-failing proxy stage degrades the clip
+  /// to full-frame detection (reported in degraded_clips).
+  StatusOr<StreamingRunReport> Run(const std::vector<sim::Clip>& clips);
 
   /// Aborts an in-flight Run (closing every channel and batcher) and makes
   /// future Runs fail fast. Safe from any thread; idempotent.

@@ -204,8 +204,13 @@ void ProxyStage::CommitBatch(const std::vector<FrameContext*>& batch,
                              PipelineResult* result) {
   if (proxy_ == nullptr) return;
   // One fixed charge per frame, in frame order — the same kProxy
-  // accumulation sequence the per-frame path produces.
-  for (size_t i = 0; i < batch.size(); ++i) ChargeFrame(result);
+  // accumulation sequence the per-frame path produces. Frames whose proxy
+  // computation never ran (a degraded clip falling back to full-frame
+  // detection) charge nothing; in normal operation ComputeBatch marks
+  // every frame, so this guard never changes the charge sequence.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->proxy_ran) ChargeFrame(result);
+  }
 }
 
 void ProxyStage::ProcessBatch(const std::vector<FrameContext*>& batch,

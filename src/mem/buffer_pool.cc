@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 
@@ -51,8 +52,19 @@ BufferPool::~BufferPool() { TrimAll(); }
 PooledBuffer BufferPool::Acquire(size_t n_floats) {
   if (n_floats == 0) return PooledBuffer();
   const uint32_t cls = ClassForSize(n_floats, kMinClassLog2, kNumClasses);
+  // Chaos hook: "mem.acquire" kDeny bypasses the freelist, forcing a heap
+  // miss — callers see only a pool-stats change, never a behavioral one,
+  // which is exactly the failure shape of a pool under memory pressure.
+  bool deny_freelist = false;
+  {
+    fault::Injection inj;
+    if (OTIF_FAULT_POINT("mem.acquire", -1, &inj) &&
+        inj.kind == fault::Kind::kDeny) {
+      deny_freelist = true;
+    }
+  }
   internal::Block* block = nullptr;
-  if (cls != kUnpooledClass) {
+  if (cls != kUnpooledClass && !deny_freelist) {
     SizeClass& sc = classes_[cls];
     std::lock_guard<std::mutex> lock(sc.mu);
     if (!sc.free.empty()) {

@@ -107,6 +107,16 @@ std::string RenderStatusz() {
     w.EndObject();
   }
   w.EndArray();
+  // Clips the executor gave up on this run (fault recovery); empty in
+  // healthy runs.
+  w.Key("quarantined").BeginArray();
+  for (const QuarantineSample& q : progress.quarantined) {
+    w.BeginObject();
+    w.Key("clip").Value(q.clip);
+    w.Key("reason").Value(q.reason);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
 
   // Executor pressure: channel depth gauges and batcher fill histograms are

@@ -81,6 +81,14 @@ void RunProgress::OnFramesCommitted(int clip, int64_t frames) {
   }
 }
 
+void RunProgress::MarkClipQuarantined(int clip, std::string reason) {
+  if (!ProgressEnabled()) return;
+  const std::shared_ptr<RunState> state = CurrentState();
+  if (state == nullptr) return;
+  std::lock_guard<std::mutex> lock(state->quarantine_mu);
+  state->quarantined.push_back(QuarantineSample{clip, std::move(reason)});
+}
+
 std::shared_ptr<RunProgress::RunState> RunProgress::CurrentState() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;
@@ -118,6 +126,10 @@ ProgressSnapshot RunProgress::Snapshot() const {
     clip.total = state->clips[i]->total;
     if (clip.total > 0 && clip.committed >= clip.total) ++out.clips_done;
     out.clips.push_back(clip);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->quarantine_mu);
+    out.quarantined = state->quarantined;
   }
   return out;
 }

@@ -30,6 +30,13 @@ struct ClipProgressSample {
   int64_t total = 0;      ///< Sampled frames the run will commit.
 };
 
+/// One clip the executor quarantined during the current run (fault
+/// recovery; see StreamingExecutor::Run).
+struct QuarantineSample {
+  int clip = 0;
+  std::string reason;  ///< Status text of the fault that exhausted retries.
+};
+
 /// Point-in-time copy of the whole registry (see RunProgress::Snapshot).
 struct ProgressSnapshot {
   std::string phase;             ///< "idle", "running", or a caller phase.
@@ -45,6 +52,7 @@ struct ProgressSnapshot {
   int64_t frames_total = 0;
   int clips_done = 0;            ///< Clips with committed >= total.
   std::vector<ClipProgressSample> clips;
+  std::vector<QuarantineSample> quarantined;  ///< Clips given up on.
 };
 
 /// Live progress of the run in flight: per-clip atomic frame counters, the
@@ -92,6 +100,11 @@ class RunProgress {
   /// paying the call; the method re-checks and early-returns regardless.
   void OnFramesCommitted(int clip, int64_t frames);
 
+  /// Records that the executor quarantined `clip` (rare — fault recovery
+  /// only, so a mutex-guarded list rather than an atomic structure).
+  /// Surfaces in Snapshot().quarantined and /statusz.
+  void MarkClipQuarantined(int clip, std::string reason);
+
   ProgressSnapshot Snapshot() const;
 
   /// Seconds since the current run last advanced (its newest commit, or
@@ -114,6 +127,8 @@ class RunProgress {
     std::atomic<int64_t> frames_committed{0};
     std::vector<std::unique_ptr<ClipState>> clips;
     int64_t frames_total = 0;
+    std::mutex quarantine_mu;
+    std::vector<QuarantineSample> quarantined;  // quarantine_mu.
   };
 
   RunProgress() = default;

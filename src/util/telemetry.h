@@ -18,6 +18,7 @@ inline constexpr uint32_t kTelemetryFlag = 1u << 0;  // Aggregate metrics.
 inline constexpr uint32_t kTimelineFlag = 1u << 1;   // Event ring buffers.
 inline constexpr uint32_t kProgressFlag = 1u << 2;   // Live run progress.
 inline constexpr uint32_t kProfilerFlag = 1u << 3;   // Sampling CPU profiler.
+inline constexpr uint32_t kFaultFlag = 1u << 4;      // Fault injection armed.
 
 /// Current flag word (one relaxed atomic load).
 uint32_t Flags();

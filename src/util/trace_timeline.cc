@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 
+#include "util/fault_injection.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -348,6 +349,7 @@ namespace otif {
 void InitObservabilityFromEnv() {
   InitLogLevelFromEnv();
   telemetry::timeline::InitFromEnv();
+  fault::InitFaultsFromEnv();
 }
 
 }  // namespace otif

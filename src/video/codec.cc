@@ -1,9 +1,13 @@
 #include "video/codec.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace otif::video {
 namespace {
@@ -381,6 +385,27 @@ Status Decoder::DecodeFrameInto(int index, DecodeStats* stats, Image* out) {
     }
     for (int t = start; t <= index; ++t) {
       OTIF_RETURN_IF_ERROR(DecodeInto(t, stats));
+    }
+  }
+  fault::Injection inj;
+  if (OTIF_FAULT_POINT("decode.frame", index, &inj)) {
+    if (inj.kind == fault::Kind::kError) {
+      return Status::IoError(
+          StrFormat("injected decode fault at frame %d", index));
+    }
+    if (inj.kind == fault::Kind::kCorrupt) {
+      // Deliver a short frame: the bottom half never decoded. Done on the
+      // output copy so the decoder's reference chain stays intact and
+      // later frames decode normally.
+      *out = reference_;
+      float* d = out->data();
+      const size_t total =
+          static_cast<size_t>(out->width()) * out->height();
+      std::fill(d + total / 2, d + total, 0.0f);
+      return Status::OK();
+    }
+    if (inj.kind == fault::Kind::kStall) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(inj.stall_ms));
     }
   }
   // Copy-assignment reuses out's pixel buffer when the capacity fits.

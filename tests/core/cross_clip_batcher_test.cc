@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace otif::core::executor {
 namespace {
 
@@ -187,6 +189,81 @@ TEST(CrossClipBatcherTest, TargetUnitsClampedToOne) {
   EXPECT_TRUE(batcher.Submit(&req, 1));  // Releases immediately at target 1.
   EXPECT_EQ(req.response, 1);
   EXPECT_EQ(batcher.full_releases(), 1);
+}
+
+/// Fault-hook tests: "batcher.<name>.submit" stalls delay submitters before
+/// they join a wave, exercising the deadline-release path under producers
+/// that lag arbitrarily — and racing Close against stalled submitters.
+class CrossClipBatcherFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::ClearFaults(); }
+};
+
+TEST_F(CrossClipBatcherFaultTest, StalledSubmittersStillAllAnswered) {
+  // Half the submissions stall 1 ms before joining. On-time submitters hit
+  // their deadline and release partial waves without the stragglers; the
+  // stragglers then form (and release) their own waves. Every request must
+  // still be answered exactly once.
+  ASSERT_TRUE(
+      fault::ConfigureFaults("batcher.stalled.submit:stall:0.5:3:ms=1").ok());
+  EchoProcessor proc;
+  Batcher batcher(
+      "stalled",
+      {.target_units = 4, .max_wait = std::chrono::microseconds(300)},
+      proc.Fn());
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  std::vector<std::vector<TestRequest>> reqs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    reqs[t].resize(kPerThread);
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reqs[t][i].value = t * kPerThread + i;
+        EXPECT_TRUE(batcher.Submit(&reqs[t][i], 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(reqs[t][i].response, reqs[t][i].value + 1);
+    }
+  }
+  EXPECT_EQ(batcher.units_processed(), kThreads * kPerThread);
+}
+
+TEST_F(CrossClipBatcherFaultTest, CloseRacesStalledSubmitters) {
+  // Every submission stalls at the hook; Close lands while submitters
+  // sleep. Each Submit must either complete normally (answered) or fail
+  // cleanly (response untouched) — and nothing may hang. (TSan in CI.)
+  ASSERT_TRUE(
+      fault::ConfigureFaults("batcher.racing.submit:stall:1:5:ms=2").ok());
+  EchoProcessor proc;
+  Batcher batcher(
+      "racing",
+      {.target_units = 100, .max_wait = std::chrono::microseconds(200)},
+      proc.Fn());
+  constexpr int kThreads = 4;
+  std::vector<TestRequest> reqs(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<int>> accepted(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    reqs[t].value = t;
+    threads.emplace_back([&, t] {
+      accepted[t].store(batcher.Submit(&reqs[t], 1) ? 1 : 0);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  batcher.Close();
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    if (accepted[t].load() == 1) {
+      EXPECT_EQ(reqs[t].response, reqs[t].value + 1);
+    } else {
+      EXPECT_EQ(reqs[t].response, -1);
+    }
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "sim/dataset.h"
 #include "sim/raster.h"
 #include "track/refine.h"
+#include "util/fault_injection.h"
 #include "util/status.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -150,11 +151,13 @@ class StreamingExecutorEquivalenceTest : public ::testing::Test {
     ThreadPool::SetDefaultThreads(4);
     if (trained != nullptr) trained->proxy_cache.Clear();
     StreamingExecutor executor(config, trained, opts);
-    StatusOr<std::vector<PipelineResult>> streaming = executor.Run(clips_);
+    StatusOr<StreamingRunReport> streaming = executor.Run(clips_);
     ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
-    ASSERT_EQ(streaming->size(), clips_.size());
+    ASSERT_EQ(streaming->results.size(), clips_.size());
+    EXPECT_TRUE(streaming->failed_clips.empty());
+    EXPECT_TRUE(streaming->degraded_clips.empty());
     for (size_t c = 0; c < clips_.size(); ++c) {
-      ExpectSameResult(serial[c], (*streaming)[c], c);
+      ExpectSameResult(serial[c], streaming->results[c], c);
     }
   }
 
@@ -268,7 +271,7 @@ TEST_F(StreamingExecutorEquivalenceTest,
   config.frame_batch = 4;
   ThreadPool::SetDefaultThreads(4);
   StreamingExecutor executor(config, nullptr, MixingOptions());
-  StatusOr<std::vector<PipelineResult>> results = executor.Run(clips_);
+  StatusOr<StreamingRunReport> results = executor.Run(clips_);
   ASSERT_TRUE(results.ok()) << results.status().ToString();
 
   int sampled = 0;
@@ -285,29 +288,178 @@ TEST_F(StreamingExecutorEquivalenceTest, ExecutorIsReusableAcrossRuns) {
   config.sampling_gap = 4;
   ThreadPool::SetDefaultThreads(4);
   StreamingExecutor executor(config, nullptr, MixingOptions());
-  StatusOr<std::vector<PipelineResult>> first = executor.Run(clips_);
+  StatusOr<StreamingRunReport> first = executor.Run(clips_);
   ASSERT_TRUE(first.ok());
-  StatusOr<std::vector<PipelineResult>> second = executor.Run(clips_);
+  StatusOr<StreamingRunReport> second = executor.Run(clips_);
   ASSERT_TRUE(second.ok());
-  ASSERT_EQ(first->size(), second->size());
-  for (size_t c = 0; c < first->size(); ++c) {
-    ExpectSameResult((*first)[c], (*second)[c], c);
+  ASSERT_EQ(first->results.size(), second->results.size());
+  for (size_t c = 0; c < first->results.size(); ++c) {
+    ExpectSameResult(first->results[c], second->results[c], c);
+  }
+}
+
+/// Fault-injection recovery tests: with OTIF_FAULTS-style specs installed,
+/// the executor must retry transient errors, quarantine clips whose faults
+/// persist (while the rest of the run completes bit-identically), and fall
+/// back to full-frame detection when the proxy keeps failing.
+class StreamingExecutorFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::ClearFaults();
+    ThreadPool::SetDefaultThreads(1);
+  }
+
+  static StreamingOptions MixingOptions() {
+    StreamingOptions opts;
+    opts.num_streams = 3;
+    opts.batch_target_frames = 16;
+    opts.batch_wait_us = 200;
+    opts.stage_workers = 3;
+    return opts;
+  }
+
+  std::vector<PipelineResult> RunSerial(const PipelineConfig& config,
+                                        const TrainedModels* trained) {
+    ThreadPool::SetDefaultThreads(1);
+    if (trained != nullptr) trained->proxy_cache.Clear();
+    Pipeline pipeline(config, trained);
+    std::vector<PipelineResult> serial;
+    for (const sim::Clip& clip : clips_) serial.push_back(pipeline.Run(clip));
+    return serial;
+  }
+
+  StatusOr<StreamingRunReport> RunStreaming(const PipelineConfig& config,
+                                            const TrainedModels* trained) {
+    ThreadPool::SetDefaultThreads(4);
+    if (trained != nullptr) trained->proxy_cache.Clear();
+    StreamingExecutor executor(config, trained, MixingOptions());
+    return executor.Run(clips_);
+  }
+
+  static int64_t CounterValue(const std::string& name) {
+    return telemetry::MetricsRegistry::Global().GetCounter(name)->value();
+  }
+
+  std::vector<sim::Clip> clips_ = MakeClips();
+};
+
+TEST_F(StreamingExecutorFaultTest, QuarantineReportsFailedClipCompletesRest) {
+  // Clip 1's detector invocations always fail: the executor must exhaust
+  // the retry budget, quarantine clip 1, and still deliver clips 0 and 2
+  // bit-identical to the serial reference.
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.sampling_gap = 2;
+  const std::vector<PipelineResult> serial = RunSerial(config, nullptr);
+
+  ASSERT_TRUE(fault::ConfigureFaults("detect.invoke:error:1:7:clip=1").ok());
+  const int64_t quarantined_before = CounterValue("executor.quarantined_clips");
+  StatusOr<StreamingRunReport> report = RunStreaming(config, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->failed_clips.size(), 1u);
+  EXPECT_EQ(report->failed_clips[0].clip_index, 1);
+  EXPECT_EQ(report->failed_clips[0].status.code(), StatusCode::kIoError);
+  EXPECT_GT(report->failed_clips[0].retries, 0);
+  EXPECT_EQ(CounterValue("executor.quarantined_clips"),
+            quarantined_before + 1);
+  EXPECT_TRUE(report->degraded_clips.empty());
+
+  // The quarantined slot stays positional but empty.
+  ASSERT_EQ(report->results.size(), clips_.size());
+  EXPECT_EQ(report->results[1].frames_processed, 0);
+  EXPECT_TRUE(report->results[1].tracks.empty());
+  ExpectSameResult(serial[0], report->results[0], 0);
+  ExpectSameResult(serial[2], report->results[2], 2);
+}
+
+TEST_F(StreamingExecutorFaultTest, TransientErrorsRetryToBitIdenticalRun) {
+  // A moderate error rate makes many invocations fail once or twice, but
+  // the per-attempt token reroll means no group exhausts all attempts
+  // (deterministic for a fixed seed). The run must succeed with results
+  // bit-identical to the fault-free serial reference.
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.sampling_gap = 2;
+  const std::vector<PipelineResult> serial = RunSerial(config, nullptr);
+
+  ASSERT_TRUE(fault::ConfigureFaults("detect.invoke:error:0.3:11").ok());
+  const int64_t retries_before = CounterValue("executor.retries");
+  StatusOr<StreamingRunReport> report = RunStreaming(config, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->failed_clips.empty());
+  EXPECT_GT(CounterValue("executor.retries"), retries_before);
+  ASSERT_EQ(report->results.size(), clips_.size());
+  for (size_t c = 0; c < clips_.size(); ++c) {
+    ExpectSameResult(serial[c], report->results[c], c);
+  }
+}
+
+TEST_F(StreamingExecutorFaultTest, StallAndDenyFaultsDoNotChangeResults) {
+  // Latency spikes in the channels/batcher and allocation denials in the
+  // buffer pool perturb scheduling and memory reuse but must never change
+  // a single output bit.
+  PipelineConfig config;
+  config.tracker = TrackerKind::kSort;
+  config.sampling_gap = 2;
+  const std::vector<PipelineResult> serial = RunSerial(config, nullptr);
+
+  ASSERT_TRUE(fault::ConfigureFaults(
+                  "channel.proxy:stall:0.2:3:ms=1,"
+                  "batcher.detect.submit:stall:0.2:5:ms=1,"
+                  "mem.acquire:deny:0.5:9,"
+                  "decode.frame:stall:0.05:13:ms=1")
+                  .ok());
+  StatusOr<StreamingRunReport> report = RunStreaming(config, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->failed_clips.empty());
+  ASSERT_EQ(report->results.size(), clips_.size());
+  for (size_t c = 0; c < clips_.size(); ++c) {
+    ExpectSameResult(serial[c], report->results[c], c);
+  }
+}
+
+TEST_F(StreamingExecutorFaultTest, DegradedProxyFallsBackToFullFrame) {
+  // The proxy fails permanently for every clip: instead of quarantining,
+  // the executor degrades to full-frame detection — exactly what a serial
+  // run without the proxy produces.
+  const auto trained = MakeTrained(clips_);
+  PipelineConfig noproxy;
+  noproxy.tracker = TrackerKind::kSort;
+  noproxy.sampling_gap = 2;
+  const std::vector<PipelineResult> serial = RunSerial(noproxy, trained.get());
+
+  PipelineConfig config = noproxy;
+  config.use_proxy = true;
+  config.proxy_threshold = 0.3;
+  ASSERT_TRUE(fault::ConfigureFaults("proxy.invoke:error:1:7").ok());
+  const int64_t degraded_before = CounterValue("executor.degraded_clips");
+  StatusOr<StreamingRunReport> report = RunStreaming(config, trained.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->failed_clips.empty());
+  ASSERT_EQ(report->degraded_clips.size(), clips_.size());
+  EXPECT_EQ(CounterValue("executor.degraded_clips"),
+            degraded_before + static_cast<int64_t>(clips_.size()));
+  ASSERT_EQ(report->results.size(), clips_.size());
+  for (size_t c = 0; c < clips_.size(); ++c) {
+    ExpectSameResult(serial[c], report->results[c], c);
   }
 }
 
 TEST(StreamingExecutorTest, EmptyClipListReturnsEmpty) {
   PipelineConfig config;
   StreamingExecutor executor(config, nullptr);
-  StatusOr<std::vector<PipelineResult>> results = executor.Run({});
+  StatusOr<StreamingRunReport> results = executor.Run({});
   ASSERT_TRUE(results.ok());
-  EXPECT_TRUE(results->empty());
+  EXPECT_TRUE(results->results.empty());
+  EXPECT_TRUE(results->failed_clips.empty());
 }
 
 TEST(StreamingExecutorTest, CancelBeforeRunReturnsCancelled) {
   PipelineConfig config;
   StreamingExecutor executor(config, nullptr);
   executor.Cancel();
-  StatusOr<std::vector<PipelineResult>> results = executor.Run(MakeClips(1));
+  StatusOr<StreamingRunReport> results = executor.Run(MakeClips(1));
   ASSERT_FALSE(results.ok());
   EXPECT_EQ(results.status().code(), StatusCode::kCancelled);
 }

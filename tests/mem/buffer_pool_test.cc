@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/arena.h"
+#include "util/fault_injection.h"
 #include "util/telemetry.h"
 
 namespace otif::mem {
@@ -227,6 +228,25 @@ TEST(BufferPoolTest, ConcurrentSharedHandleHandoff) {
     reader.join();
   }
   EXPECT_EQ(pool.GetStats().bytes_in_flight, 0);
+}
+
+TEST(BufferPoolTest, InjectedDenyForcesHeapMissButValidBuffer) {
+  // The "mem.acquire" deny fault skips the freelist: a warm pool still
+  // allocates fresh blocks (a miss), but the returned buffer is fully
+  // usable — allocation denial degrades stats, never correctness.
+  BufferPool pool;
+  { PooledBuffer warm = pool.Acquire(1000); }  // Park a block.
+  ASSERT_TRUE(fault::ConfigureFaults("mem.acquire:deny:1:3").ok());
+  PooledBuffer denied = pool.Acquire(900);  // Same class; freelist skipped.
+  ASSERT_NE(denied.data(), nullptr);
+  denied.data()[0] = 1.0f;
+  EXPECT_EQ(pool.GetStats().hits, 0);
+  EXPECT_EQ(pool.GetStats().misses, 2);
+
+  fault::ClearFaults();
+  denied.reset();
+  PooledBuffer reused = pool.Acquire(900);  // Freelist works again.
+  EXPECT_EQ(pool.GetStats().hits, 1);
 }
 
 }  // namespace

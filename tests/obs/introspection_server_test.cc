@@ -381,7 +381,7 @@ TEST(IntrospectionServerTest, RunsAreBitIdenticalWithServerOnOrOff) {
   ThreadPool::SetDefaultThreads(4);
   core::StreamingExecutor off_executor(config, nullptr,
                                        core::StreamingOptions{});
-  StatusOr<std::vector<core::PipelineResult>> off = off_executor.Run(clips);
+  StatusOr<core::StreamingRunReport> off = off_executor.Run(clips);
   ASSERT_TRUE(off.ok()) << off.status().ToString();
 
   // Same run with the server scraping and progress armed throughout.
@@ -398,13 +398,13 @@ TEST(IntrospectionServerTest, RunsAreBitIdenticalWithServerOnOrOff) {
     });
     core::StreamingExecutor on_executor(config, nullptr,
                                         core::StreamingOptions{});
-    StatusOr<std::vector<core::PipelineResult>> on = on_executor.Run(clips);
+    StatusOr<core::StreamingRunReport> on = on_executor.Run(clips);
     stop.store(true, std::memory_order_relaxed);
     scraper.join();
     ASSERT_TRUE(on.ok()) << on.status().ToString();
-    ASSERT_EQ(on->size(), off->size());
-    for (size_t c = 0; c < off->size(); ++c) {
-      ExpectSameResult((*off)[c], (*on)[c], c);
+    ASSERT_EQ(on->results.size(), off->results.size());
+    for (size_t c = 0; c < off->results.size(); ++c) {
+      ExpectSameResult(off->results[c], on->results[c], c);
     }
   }
   ThreadPool::SetDefaultThreads(1);

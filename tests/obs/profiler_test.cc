@@ -252,7 +252,7 @@ TEST(ProfilerTest, RunsAreBitIdenticalWithProfilerOnOrOff) {
   // Reference: profiler off.
   core::StreamingExecutor off_executor(config, nullptr,
                                        core::StreamingOptions{});
-  StatusOr<std::vector<core::PipelineResult>> off = off_executor.Run(clips);
+  StatusOr<core::StreamingRunReport> off = off_executor.Run(clips);
   ASSERT_TRUE(off.ok()) << off.status().ToString();
 
   // Same run sampled at full rate.
@@ -261,15 +261,15 @@ TEST(ProfilerTest, RunsAreBitIdenticalWithProfilerOnOrOff) {
   const bool profiling = StartOrSkip(options);
   core::StreamingExecutor on_executor(config, nullptr,
                                       core::StreamingOptions{});
-  StatusOr<std::vector<core::PipelineResult>> on = on_executor.Run(clips);
+  StatusOr<core::StreamingRunReport> on = on_executor.Run(clips);
   if (profiling) {
     StatusOr<Profile> profile = CpuProfiler::Global().Stop();
     EXPECT_TRUE(profile.ok()) << profile.status().ToString();
   }
   ASSERT_TRUE(on.ok()) << on.status().ToString();
-  ASSERT_EQ(on->size(), off->size());
-  for (size_t c = 0; c < off->size(); ++c) {
-    ExpectSameResult((*off)[c], (*on)[c], c);
+  ASSERT_EQ(on->results.size(), off->results.size());
+  for (size_t c = 0; c < off->results.size(); ++c) {
+    ExpectSameResult(off->results[c], on->results[c], c);
   }
   ThreadPool::SetDefaultThreads(1);
   if (!profiling) GTEST_SKIP() << "compared without sampling (sanitizer)";

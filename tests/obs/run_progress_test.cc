@@ -156,5 +156,37 @@ TEST(RunProgressTest, ConcurrentCommitsLoseNothing) {
   EXPECT_EQ(snap.clips_done, kThreads);
 }
 
+TEST(RunProgressTest, QuarantinedClipsSurfaceInSnapshot) {
+  ScopedProgress scoped;
+  RunProgress& progress = RunProgress::Global();
+  progress.BeginRun("quarantine", {10, 10, 10});
+  EXPECT_TRUE(progress.Snapshot().quarantined.empty());
+
+  progress.MarkClipQuarantined(1, "IoError: injected fault");
+  progress.MarkClipQuarantined(2, "IoError: another fault");
+  ProgressSnapshot snap = progress.Snapshot();
+  ASSERT_EQ(snap.quarantined.size(), 2u);
+  EXPECT_EQ(snap.quarantined[0].clip, 1);
+  EXPECT_EQ(snap.quarantined[0].reason, "IoError: injected fault");
+  EXPECT_EQ(snap.quarantined[1].clip, 2);
+
+  // A new run generation starts with a clean quarantine list.
+  progress.BeginRun("next", {10});
+  EXPECT_TRUE(progress.Snapshot().quarantined.empty());
+}
+
+TEST(RunProgressTest, QuarantineIsNoOpWhenDisabledOrNoRun) {
+  {
+    ScopedProgress scoped;
+    RunProgress& progress = RunProgress::Global();
+    progress.BeginRun("gate", {10});
+    const bool previous = ProgressEnabled();
+    SetProgressEnabled(false);
+    progress.MarkClipQuarantined(0, "dropped");
+    SetProgressEnabled(previous);
+    EXPECT_TRUE(progress.Snapshot().quarantined.empty());
+  }
+}
+
 }  // namespace
 }  // namespace otif::obs

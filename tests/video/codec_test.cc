@@ -4,7 +4,9 @@
 
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace otif::video {
 namespace {
@@ -258,6 +260,54 @@ TEST(CodecPropertyTest, NoiseRoundTripAndDeterminism) {
     EXPECT_LT(frames[t].MeanAbsDiff((*out1)[t]), 0.05f);
     EXPECT_FLOAT_EQ((*out1)[t].MeanAbsDiff((*out2)[t]), 0.0f);
   }
+}
+
+/// Fault-hook tests for the "decode.frame" site: injected errors surface
+/// as IoError, injected corruption delivers a short (half-zeroed) frame,
+/// and with faults cleared the decoder is bit-identical to an untouched one.
+class CodecFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::ClearFaults(); }
+};
+
+TEST_F(CodecFaultTest, InjectedErrorSurfacesAsIoError) {
+  const auto frames = MovingSquareClip(8, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder decoder(&encoded.value());
+  // The decode token is the frame index, so a rate-1 spec fails every frame.
+  ASSERT_TRUE(fault::ConfigureFaults("decode.frame:error:1:3").ok());
+  Image out;
+  const Status status = decoder.DecodeFrameInto(2, nullptr, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST_F(CodecFaultTest, InjectedCorruptionDeliversShortFrame) {
+  const auto frames = MovingSquareClip(8, 32, 32);
+  auto encoded = Encoder(CodecConfig{}).Encode(frames);
+  ASSERT_TRUE(encoded.ok());
+  Decoder clean(&encoded.value());
+  Image want;
+  ASSERT_TRUE(clean.DecodeFrameInto(3, nullptr, &want).ok());
+
+  Decoder corrupted(&encoded.value());
+  ASSERT_TRUE(fault::ConfigureFaults("decode.frame:corrupt:1:3").ok());
+  Image out;
+  ASSERT_TRUE(corrupted.DecodeFrameInto(3, nullptr, &out).ok());
+  const size_t total = static_cast<size_t>(out.width()) * out.height();
+  // Top half decoded normally; bottom half lost (zeroed).
+  for (size_t i = 0; i < total / 2; ++i) {
+    EXPECT_EQ(out.data()[i], want.data()[i]) << "pixel " << i;
+  }
+  for (size_t i = total / 2; i < total; ++i) {
+    ASSERT_EQ(out.data()[i], 0.0f) << "pixel " << i;
+  }
+
+  // Clearing the faults restores bit-identical decoding.
+  fault::ClearFaults();
+  ASSERT_TRUE(corrupted.DecodeFrameInto(3, nullptr, &out).ok());
+  EXPECT_FLOAT_EQ(out.MeanAbsDiff(want), 0.0f);
 }
 
 }  // namespace

@@ -20,19 +20,26 @@
 # score cache, staged-pipeline determinism, executor channels/batcher,
 # cross-executor equivalence).
 #
-# Usage: tools/check.sh [--skip-tsan] [--compare-baseline]
+# Usage: tools/check.sh [--skip-tsan] [--compare-baseline] [--faults]
 #   --compare-baseline  additionally re-measures and diffs against the
 #                       committed BENCH_baseline.json (exits non-zero on
 #                       regression; tolerance via OTIF_BASELINE_TOL).
+#   --faults            additionally runs the fault-injection smoke (a
+#                       quarantined-clip streaming run must exit 0, report
+#                       the failed clip, and leave every surviving clip
+#                       bit-identical to a fault-free run) and the full
+#                       chaos matrix (tools/chaos_matrix.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 COMPARE_BASELINE=0
+RUN_FAULTS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --compare-baseline) COMPARE_BASELINE=1 ;;
+    --faults) RUN_FAULTS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -332,6 +339,52 @@ if [[ "$COMPARE_BASELINE" == "1" ]]; then
   python3 tools/bench_baseline.py compare --baseline BENCH_baseline.json
 fi
 
+if [[ "$RUN_FAULTS" == "1" ]]; then
+  echo "== faults: quarantine smoke (failed clip reported, rest bit-identical) =="
+  # A fault-free streaming run records per-clip digests; a second run with
+  # clip 1's detector failing permanently must still exit 0, report exactly
+  # clip 1 in failed_clips, and leave every other clip's digest untouched.
+  VALIDATE_FAULT_RUN='
+import json, sys
+
+with open(sys.argv[1]) as f:
+    clean = json.load(f)
+with open(sys.argv[2]) as f:
+    faulted = json.load(f)
+
+failed = faulted["failed_clips"]
+assert [f["clip"] for f in failed] == [1], failed
+assert "injected" in failed[0]["status"], failed[0]
+assert failed[0]["retries"] > 0, failed[0]
+
+clean_digests = {e["clip"]: e["digest"] for e in clean["clip_digests"]}
+assert not any(e["failed"] for e in clean["clip_digests"])
+survivors = 0
+for entry in faulted["clip_digests"]:
+    if entry["clip"] == 1:
+        assert entry["failed"], entry
+        continue
+    assert not entry["failed"], entry
+    assert entry["digest"] == clean_digests[entry["clip"]], (
+        f"clip {entry['clip']} digest changed under an unrelated fault: "
+        f"{entry['digest']} != {clean_digests[entry['clip']]}")
+    survivors += 1
+assert survivors >= 2, faulted["clip_digests"]
+print(f"fault smoke ok: clip 1 quarantined after {failed[0]['retries']} "
+      f"retries, {survivors} surviving clips bit-identical")
+'
+  OTIF_LOG_LEVEL=warning ./build/bench/bench_throughput \
+    --executor=streaming 4 120 > build/fault_clean.json
+  OTIF_LOG_LEVEL=warning OTIF_FAULTS='detect.invoke:error:1:7:clip=1' \
+    ./build/bench/bench_throughput --executor=streaming 4 120 \
+    > build/fault_quarantine.json
+  python3 -c "$VALIDATE_FAULT_RUN" build/fault_clean.json \
+    build/fault_quarantine.json
+
+  echo "== faults: chaos matrix =="
+  tools/chaos_matrix.sh build 4 120
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== skipping TSan pass (--skip-tsan) =="
   exit 0
@@ -343,7 +396,7 @@ cmake --build build-tsan -j --target util_test mem_test core_test obs_test
 
 echo "== tsan: run concurrency tests =="
 ./build-tsan/tests/util_test \
-  --gtest_filter='ThreadPool*:Telemetry*:Trace*:TraceTimeline*'
+  --gtest_filter='ThreadPool*:Telemetry*:Trace*:TraceTimeline*:FaultInjection*'
 ./build-tsan/tests/mem_test --gtest_filter='BufferPool*'
 ./build-tsan/tests/core_test \
   --gtest_filter='PipelineStagesDeterminismTest.*:ProxyScoreCache*:PipelineTelemetry*:Channel*:CrossClipBatcher*:StreamingExecutor*'

@@ -137,13 +137,17 @@ def validate_statusz_schema(doc):
             die(f"/statusz missing key {key!r}: {sorted(doc)}")
     run = doc["run"]
     for key in ("label", "seq", "in_flight", "frames_committed",
-                "frames_total", "clips_done", "clips"):
+                "frames_total", "clips_done", "clips", "quarantined"):
         if key not in run:
             die(f"/statusz run missing key {key!r}: {sorted(run)}")
     for clip in run["clips"]:
         for key in ("clip", "committed", "total"):
             if key not in clip:
                 die(f"/statusz clip entry missing {key!r}: {clip}")
+    for entry in run["quarantined"]:
+        for key in ("clip", "reason"):
+            if key not in entry:
+                die(f"/statusz quarantined entry missing {key!r}: {entry}")
     for key in ("channels", "batchers"):
         if key not in doc["executor"]:
             die(f"/statusz executor missing {key!r}")
